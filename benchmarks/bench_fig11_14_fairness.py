@@ -1,0 +1,150 @@
+"""Figs. 11-14: fairness and friendliness among MOCC flows (§6.4).
+
+* Fig. 11: three same-scheme flows join a 12 Mbps / 20 ms / 1xBDP
+  bottleneck at staggered times; same-weight MOCC converges to a fair
+  share.
+* Fig. 12: per-second Jain-index CDF; MOCC is fair irrespective of its
+  weight configuration.
+* Fig. 13: pairwise competition of MOCC variants -- a larger w_thr is
+  more aggressive; no variant starves the other.
+* Fig. 14: throughput ratios of weight variants across RTTs stay within
+  a moderate band (paper: 0.43-2.04).
+"""
+
+import numpy as np
+from conftest import print_table, run_once
+
+from repro.baselines import Cubic, Vegas
+from repro.core.agent import MoccController
+from repro.core.weights import (
+    BALANCE_WEIGHTS,
+    LATENCY_WEIGHTS,
+    THROUGHPUT_WEIGHTS,
+)
+from repro.eval.metrics import jain_index_series
+from repro.eval.runner import EvalNetwork, run_competition
+
+FAIR_NET = EvalNetwork(bandwidth_mbps=12.0, one_way_ms=20.0, buffer_bdp=1.0)
+PAIR_NET = EvalNetwork(bandwidth_mbps=20.0, one_way_ms=20.0, buffer_bdp=1.0)
+
+
+def _mocc(agent, weights, seed):
+    return MoccController(agent, weights, initial_rate=FAIR_NET.bottleneck_pps / 4,
+                          seed=seed)
+
+
+def bench_fig11_fairness_dynamics(benchmark, mocc_agent):
+    """Fig. 11: staggered same-weight MOCC flows share the bottleneck."""
+
+    def experiment():
+        controllers = [_mocc(mocc_agent, BALANCE_WEIGHTS, seed=i) for i in range(3)]
+        records = run_competition(controllers, FAIR_NET, duration=60.0,
+                                  start_times=[0.0, 15.0, 30.0], seed=6)
+        return records
+
+    records = run_once(benchmark, experiment)
+    # Mean throughput of each flow during the all-three-active epoch.
+    shares = []
+    for record in records:
+        acked = sum(s.acked for s in record.records if 30.0 <= s.start < 60.0)
+        shares.append(acked / 30.0)
+    total = sum(shares)
+    print_table("Fig 11: per-flow share while 3 MOCC flows compete (30-60s)",
+                ["flow", "throughput pps", "share"],
+                [[i, s, s / total] for i, s in enumerate(shares)])
+    # No starvation: every flow holds a meaningful share.
+    assert min(shares) / total > 0.10
+    assert total > 0.5 * FAIR_NET.bottleneck_pps
+
+
+def bench_fig12_jain_cdf(benchmark, mocc_agent):
+    """Fig. 12: Jain-index distribution for MOCC weight variants."""
+
+    def experiment():
+        out = {}
+        for name, weights in [("MOCC-Throughput", THROUGHPUT_WEIGHTS),
+                              ("MOCC-Balance", BALANCE_WEIGHTS),
+                              ("MOCC-Latency", LATENCY_WEIGHTS)]:
+            controllers = [_mocc(mocc_agent, weights, seed=i) for i in range(3)]
+            records = run_competition(controllers, FAIR_NET, duration=45.0,
+                                      start_times=[0.0, 10.0, 20.0], seed=7)
+            out[name] = jain_index_series(records, interval=1.0)
+        return out
+
+    series = run_once(benchmark, experiment)
+    rows = [[name, float(np.median(s)), float(np.percentile(s, 25)),
+             float(np.percentile(s, 75))] for name, s in series.items()]
+    print_table("Fig 12: Jain fairness index (median/p25/p75 per second)",
+                ["variant", "median", "p25", "p75"], rows)
+    # Fairness is irrespective of the weight configuration.
+    for name, s in series.items():
+        assert np.median(s) > 0.6, name
+
+
+def bench_fig13_weight_competition(benchmark, mocc_agent):
+    """Fig. 13: pairwise competition of MOCC variants (+ CUBIC/Vegas)."""
+
+    def experiment():
+        pairs = [
+            ("Thr vs Bal", THROUGHPUT_WEIGHTS, BALANCE_WEIGHTS),
+            ("Thr vs Lat", THROUGHPUT_WEIGHTS, LATENCY_WEIGHTS),
+            ("Lat vs Bal", LATENCY_WEIGHTS, BALANCE_WEIGHTS),
+        ]
+        out = {}
+        for name, w1, w2 in pairs:
+            records = run_competition(
+                [_mocc(mocc_agent, w1, seed=1), _mocc(mocc_agent, w2, seed=2)],
+                PAIR_NET, duration=30.0, seed=8)
+            out[name] = (records[0].mean_throughput_pps, records[1].mean_throughput_pps)
+        records = run_competition([Cubic(), Vegas()], PAIR_NET, duration=30.0, seed=8)
+        out["CUBIC vs Vegas"] = (records[0].mean_throughput_pps,
+                                 records[1].mean_throughput_pps)
+        return out
+
+    results = run_once(benchmark, experiment)
+    total = PAIR_NET.bottleneck_pps
+    rows = [[name, a, b, a / max(b, 1e-9)] for name, (a, b) in results.items()]
+    print_table("Fig 13: pairwise competition (flow1 pps, flow2 pps, ratio)",
+                ["pair", "flow1", "flow2", "ratio"], rows)
+
+    # A larger w_thr is more aggressive, but nobody starves.
+    thr_vs_lat = results["Thr vs Lat"]
+    assert thr_vs_lat[0] >= thr_vs_lat[1] * 0.9
+    for name, (a, b) in results.items():
+        if name.startswith("Thr") or name.startswith("Lat"):
+            assert min(a, b) / total > 0.05, name
+
+
+def bench_fig14_friendliness_weights(benchmark, mocc_agent):
+    """Fig. 14: variant-vs-balance throughput ratios across RTTs."""
+
+    def experiment():
+        out = {}
+        for rtt_ms in (20.0, 40.0, 80.0):
+            net = EvalNetwork(bandwidth_mbps=20.0, one_way_ms=rtt_ms / 2,
+                              buffer_bdp=1.0)
+            for name, w in [("w1 <.8,.1,.1>", THROUGHPUT_WEIGHTS),
+                            ("w5 <.1,.8,.1>", LATENCY_WEIGHTS)]:
+                records = run_competition(
+                    [MoccController(mocc_agent, w,
+                                    initial_rate=net.bottleneck_pps / 4, seed=1),
+                     MoccController(mocc_agent, BALANCE_WEIGHTS,
+                                    initial_rate=net.bottleneck_pps / 4, seed=2)],
+                    net, duration=25.0, seed=9)
+                ratio = (records[0].mean_throughput_pps
+                         / max(records[1].mean_throughput_pps, 1e-9))
+                out[(name, rtt_ms)] = ratio
+        return out
+
+    ratios = run_once(benchmark, experiment)
+    print_table("Fig 14: MOCC variant / MOCC-Balance throughput ratio",
+                ["variant", "RTT ms", "ratio"],
+                [[name, rtt, r] for (name, rtt), r in ratios.items()])
+    # Ratios stay within a moderate band (paper: 0.43-2.04; ours is
+    # wider at short RTTs -- see EXPERIMENTS.md) and the
+    # throughput-weighted variant is the more aggressive one on average.
+    values = np.array(list(ratios.values()))
+    assert np.all(values > 0.05) and np.all(values < 10.0)
+    w1 = np.mean([r for (n, _), r in ratios.items() if n.startswith("w1")])
+    w5 = np.mean([r for (n, _), r in ratios.items() if n.startswith("w5")])
+    assert w1 >= w5 * 0.8

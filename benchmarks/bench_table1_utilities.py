@@ -1,0 +1,51 @@
+"""Table 1: the objectives of learning-based CC schemes.
+
+Evaluates each published utility/reward function at canonical operating
+points and checks the qualitative properties the paper's Table 1
+encodes: throughput credit, latency/loss penalties, and the coefficient
+balance that distinguishes the schemes.
+"""
+
+from conftest import print_table, run_once
+
+from repro.baselines.base import (
+    allegro_sigmoid_utility,
+    allegro_utility,
+    aurora_utility,
+    orca_utility,
+    vivace_utility,
+)
+
+
+def bench_table1(benchmark):
+    def experiment():
+        # Operating points: (throughput pps, rtt s, loss, rate pps, dRTT/dt)
+        points = {
+            "idle": (10.0, 0.04, 0.0, 10.0, 0.0),
+            "at-capacity": (100.0, 0.045, 0.0, 100.0, 0.0),
+            "overdrive": (100.0, 0.20, 0.30, 160.0, 0.5),
+        }
+        rows = []
+        for name, (thr, rtt, loss, rate, grad) in points.items():
+            rows.append([
+                name,
+                aurora_utility(thr, rtt, loss),
+                vivace_utility(rate, grad, loss),
+                allegro_utility(thr, rtt),
+                allegro_sigmoid_utility(rate, loss),
+                orca_utility(thr, rtt, loss, max_throughput_pps=100.0, min_rtt_s=0.04),
+            ])
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table("Table 1: utility functions at canonical operating points",
+                ["point", "Aurora", "Vivace", "Allegro(T-dRTT)", "Allegro(sigmoid)", "Orca"],
+                rows)
+
+    by_name = {r[0]: r for r in rows}
+    # Every utility prefers at-capacity over idle...
+    for col in range(1, 6):
+        assert by_name["at-capacity"][col] > by_name["idle"][col]
+    # ...and penalises the overdrive point relative to at-capacity.
+    for col in range(1, 6):
+        assert by_name["overdrive"][col] < by_name["at-capacity"][col]

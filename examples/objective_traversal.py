@@ -1,0 +1,48 @@
+"""Visualise the fast-traversal training order (Fig. 4 / Appendix B).
+
+Prints the omega=36 landmark grid as an ASCII simplex, numbering each
+landmark by its position in the neighbourhood-sorted training order:
+the three bootstrap objectives come first and the traversal expands
+outward from them, rotating between the three regions.
+
+Run:  python examples/objective_traversal.py
+"""
+
+import numpy as np
+
+from repro.config import BOOTSTRAP_OBJECTIVES
+from repro.core.sorting import neighborhood_sort
+from repro.core.weights import simplex_grid
+
+
+def main():
+    grid = simplex_grid(10)
+    order = neighborhood_sort(grid, BOOTSTRAP_OBJECTIVES)
+    rank = {idx: pos for pos, idx in enumerate(order)}
+    bootstraps = {tuple(np.round(b, 6)) for b in BOOTSTRAP_OBJECTIVES}
+
+    print("omega = 36 landmark objectives (step 0.1); numbers give the")
+    print("training order, '*' marks the bootstrap pivots.\n")
+    print("w_thr rises downward; w_lat rises rightward; w_loss = remainder\n")
+
+    ints = np.rint(grid * 10).astype(int)
+    index = {(i, j): k for k, (i, j, _) in enumerate(ints)}
+    for i in range(1, 9):  # w_thr = 0.1 .. 0.8
+        cells = []
+        for j in range(1, 10 - i):
+            k = index.get((i, j))
+            if k is None:
+                continue
+            marker = "*" if tuple(np.round(grid[k], 6)) in bootstraps else " "
+            cells.append(f"{rank[k]:2d}{marker}")
+        print(f"w_thr={i/10:.1f}  " + " ".join(cells))
+
+    print("\nfirst ten visits:")
+    for pos in range(10):
+        w = grid[order[pos]]
+        tag = "  <- bootstrap" if tuple(np.round(w, 6)) in bootstraps else ""
+        print(f"  {pos:2d}: <{w[0]:.1f}, {w[1]:.1f}, {w[2]:.1f}>{tag}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""Pre-train and cache every model the test/benchmark suite needs."""
+import time
+
+from repro.models import default_zoo
+from repro.core.weights import RTC_WEIGHTS, project_to_simplex
+
+
+def main():
+    zoo = default_zoo()
+    jobs = [
+        ("mocc fast", lambda: zoo.mocc_offline(quality="fast")),
+        ("aurora thr fast", lambda: zoo.aurora("throughput", quality="fast")),
+        ("aurora lat fast", lambda: zoo.aurora("latency", quality="fast")),
+        ("mocc full", lambda: zoo.mocc_offline(quality="full")),
+        ("aurora thr full", lambda: zoo.aurora("throughput", quality="full")),
+        ("aurora lat full", lambda: zoo.aurora("latency", quality="full")),
+        ("aurora rtc fast", lambda: zoo.aurora_for(RTC_WEIGHTS, tag="rtc", quality="fast")),
+        ("aurora bulk fast", lambda: zoo.aurora_for(
+            project_to_simplex([1.0, 0.0, 0.0]), tag="bulk", quality="fast")),
+        ("enhanced aurora fast", lambda: zoo.enhanced_aurora(10, quality="fast")),
+    ]
+    for name, job in jobs:
+        t0 = time.time()
+        job()
+        print(f"[prewarm] {name}: {time.time() - t0:.1f}s", flush=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Shim for legacy editable installs (offline host lacks the wheel package)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,27 @@
+"""Application workloads for the real-application study (§6.3).
+
+* :mod:`repro.apps.video` -- MPC-based adaptive-bitrate video streaming
+  (the Pensieve-style setup of Fig. 8);
+* :mod:`repro.apps.rtc` -- real-time communications measuring
+  inter-packet delay (the Salsify-style setup of Fig. 9);
+* :mod:`repro.apps.bulk` -- bulk data transfer measuring flow
+  completion time (Fig. 10).
+
+Each workload runs over any congestion controller, so a single MOCC
+model (with per-application weight vectors) can be compared against
+the kernel heuristics exactly as the paper does.
+"""
+
+from repro.apps.video import VideoSession, VideoResult, BITRATES_MBPS
+from repro.apps.rtc import RtcResult, run_rtc
+from repro.apps.bulk import BulkResult, run_bulk_transfers
+
+__all__ = [
+    "VideoSession",
+    "VideoResult",
+    "BITRATES_MBPS",
+    "RtcResult",
+    "run_rtc",
+    "BulkResult",
+    "run_bulk_transfers",
+]

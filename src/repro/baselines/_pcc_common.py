@@ -1,0 +1,90 @@
+"""Shared micro-experiment accounting for the PCC family.
+
+PCC's utility must be computed over the packets *sent during* each
+trial interval: loss notifications arrive roughly one RTT after the
+offending send, so attributing them to the interval in which they are
+*observed* systematically charges an up-trial's losses to the following
+down-trial and inverts the measured gradient.  The
+:class:`TrialTracker` therefore matches every ack/loss back to the
+trial whose time window contains the packet's send time, and only
+releases a trial for utility evaluation once a grace period (~1 RTT)
+has passed since the trial ended.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.netsim.packet import Packet
+
+__all__ = ["Trial", "TrialTracker"]
+
+
+@dataclass
+class Trial:
+    """One monitor interval sent at a perturbed trial rate."""
+
+    sign: int              # +1 / -1 perturbation direction (0 = neutral)
+    rate: float            # the trial's sending rate (pps)
+    start: float
+    end: float = float("inf")
+    acked: int = 0
+    lost: int = 0
+    rtt_sum: float = 0.0
+    round_id: int = 0
+
+    @property
+    def loss_rate(self) -> float:
+        total = self.acked + self.lost
+        return self.lost / total if total else 0.0
+
+    @property
+    def mean_rtt(self) -> float | None:
+        return self.rtt_sum / self.acked if self.acked else None
+
+    def goodput(self) -> float:
+        """Delivered-rate estimate: trial rate discounted by loss."""
+        return self.rate * (1.0 - self.loss_rate)
+
+
+class TrialTracker:
+    """Send-time attribution of acks/losses to trial windows."""
+
+    def __init__(self):
+        self._open: list[Trial] = []
+
+    def begin(self, sign: int, rate: float, now: float, round_id: int) -> Trial:
+        """Close the running trial (if any) and start a new one."""
+        if self._open and self._open[-1].end == float("inf"):
+            self._open[-1].end = now
+        trial = Trial(sign=sign, rate=rate, start=now, round_id=round_id)
+        self._open.append(trial)
+        return trial
+
+    def _find(self, send_time: float) -> Trial | None:
+        for trial in self._open:
+            if trial.start <= send_time < trial.end:
+                return trial
+        return None
+
+    def on_ack(self, packet: Packet, now: float) -> None:
+        trial = self._find(packet.send_time)
+        if trial is not None:
+            trial.acked += 1
+            trial.rtt_sum += now - packet.send_time
+
+    def on_loss(self, packet: Packet) -> None:
+        trial = self._find(packet.send_time)
+        if trial is not None:
+            trial.lost += 1
+
+    def pop_resolved(self, now: float, grace: float) -> list[Trial]:
+        """Remove and return trials whose results are complete.
+
+        A trial is resolved once ``grace`` seconds (~1 RTT, covering the
+        ack/loss notification delay) have passed since it ended.
+        """
+        resolved = [t for t in self._open if t.end + grace <= now]
+        if resolved:
+            self._open = [t for t in self._open if t.end + grace > now]
+        return resolved

@@ -1,0 +1,48 @@
+"""Aurora (Jay et al. 2019) -- single-objective deep-RL congestion control.
+
+Aurora is the paper's closest prior work (Fig. 2a): the same PPO
+machinery and monitor-interval state as MOCC, but with a *fixed* reward
+and no preference sub-network, so one trained model optimises exactly
+one objective.  "Aurora-throughput" and "Aurora-latency" in the
+evaluation are two separately-trained instances.
+
+Training lives in :func:`repro.core.offline.train_single_objective`;
+this module provides the inference-time controller and convenience
+constructors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.agent import MoccAgent, PolicyRateController
+from repro.core.weights import LATENCY_WEIGHTS, THROUGHPUT_WEIGHTS
+
+__all__ = ["AuroraController", "aurora_objective"]
+
+
+def aurora_objective(flavor: str) -> np.ndarray:
+    """The environment objective a given Aurora flavour is trained for."""
+    if flavor == "throughput":
+        return THROUGHPUT_WEIGHTS.copy()
+    if flavor == "latency":
+        return LATENCY_WEIGHTS.copy()
+    raise ValueError(f"unknown Aurora flavour {flavor!r}")
+
+
+class AuroraController(PolicyRateController):
+    """Inference-time Aurora: a frozen single-objective policy."""
+
+    name = "Aurora"
+
+    def __init__(self, agent: MoccAgent, initial_rate: float = 100.0,
+                 deterministic: bool = True, seed: int = 0,
+                 flavor: str | None = None):
+        if agent.weight_dim != 0:
+            raise ValueError("Aurora uses a single-objective model (weight_dim=0)")
+        super().__init__(agent.model, weights=None, initial_rate=initial_rate,
+                         action_scale=agent.config.action_scale,
+                         history_length=agent.config.history_length,
+                         deterministic=deterministic, seed=seed)
+        if flavor:
+            self.name = f"Aurora-{flavor}"

@@ -1,0 +1,173 @@
+"""Online adaptation with requirement replay (§4.3).
+
+When a new application (weight vector) arrives:
+
+* the offline-trained correlation model already provides a *moderate*
+  policy for it (the preference sub-network interpolates between
+  landmarks), so performance is reasonable from the first interval;
+* transfer learning -- continuing PPO from the offline model --
+  converges to the objective's optimal policy in a few iterations
+  (Fig. 7a: 45 vs. Aurora's 639 from scratch, 14.2x);
+* to avoid forgetting, each online step optimises the *requirement
+  replay* loss (Eq. 6): the average of the PPO surrogate on the new
+  objective and on an old objective sampled uniformly from the pool of
+  previously-encountered applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import DEFAULT_TRAINING, TrainingConfig
+from repro.core.agent import MoccAgent
+from repro.rl.collect import evaluate_policy
+from repro.rl.parallel import EnvSpec, SerialCollector
+from repro.rl.ppo import PPOConfig, PPOTrainer
+
+__all__ = ["RequirementReplay", "AdaptationTrace", "OnlineAdapter"]
+
+
+class RequirementReplay:
+    """Pool of encountered application requirements (weight vectors)."""
+
+    def __init__(self, tolerance: float = 1e-6):
+        self.tolerance = tolerance
+        self._pool: list[np.ndarray] = []
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    def add(self, weights) -> bool:
+        """Store a requirement; returns False if already present."""
+        w = np.asarray(weights, dtype=np.float64)
+        for existing in self._pool:
+            if np.allclose(existing, w, atol=self.tolerance):
+                return False
+        self._pool.append(w.copy())
+        return True
+
+    def sample(self, rng: np.random.Generator, exclude=None) -> np.ndarray | None:
+        """Uniform draw from the pool, optionally excluding one vector."""
+        candidates = self._pool
+        if exclude is not None:
+            exclude = np.asarray(exclude, dtype=np.float64)
+            candidates = [w for w in self._pool
+                          if not np.allclose(w, exclude, atol=self.tolerance)]
+        if not candidates:
+            return None
+        return candidates[int(rng.integers(len(candidates)))]
+
+    def all(self) -> np.ndarray:
+        return np.array(self._pool)
+
+
+@dataclass
+class AdaptationTrace:
+    """Reward traces recorded while adapting to a new objective."""
+
+    #: Mean (stochastic) episode reward on the new objective, per iteration.
+    rewards: list[float] = field(default_factory=list)
+    #: (iteration, deterministic eval reward) on the new objective.
+    new_marks: list[tuple[int, float]] = field(default_factory=list)
+    #: (iteration, deterministic eval reward) on the old objective.
+    old_marks: list[tuple[int, float]] = field(default_factory=list)
+
+    def convergence_iteration(self, frac: float = 0.99, smooth: int = 5) -> int:
+        """First iteration whose smoothed reward reaches ``frac * max``.
+
+        This is the paper's §6.2 definition ("99 % of the maximum
+        reward gain").  Returns the 1-based iteration index.
+        """
+        r = np.asarray(self.rewards, dtype=np.float64)
+        if len(r) == 0:
+            raise ValueError("empty trace")
+        if smooth > 1:
+            kernel = np.ones(smooth) / smooth
+            r = np.convolve(r, kernel, mode="valid")
+        threshold = frac * r.max()
+        crossing = int(np.argmax(r >= threshold))
+        return crossing + 1
+
+    def initial_reward(self) -> float:
+        return self.rewards[0] if self.rewards else float("nan")
+
+    def old_objective_retention(self) -> float:
+        """min(old-objective reward) / first old-objective reward.
+
+        1.0 means no forgetting; the paper reports <5 % loss for MOCC
+        while Aurora collapses (916.1 -> 156.1).
+        """
+        if not self.old_marks:
+            return float("nan")
+        values = np.array([v for _, v in self.old_marks])
+        if values[0] <= 0:
+            return float("nan")
+        return float(values.min() / values[0])
+
+
+class OnlineAdapter:
+    """Adapt a trained MOCC agent to new objectives on-the-fly."""
+
+    def __init__(self, agent: MoccAgent, spec: EnvSpec,
+                 config: TrainingConfig = DEFAULT_TRAINING,
+                 ppo_config: PPOConfig | None = None,
+                 replay: RequirementReplay | None = None,
+                 collector=None, seed: int = 0):
+        if agent.weight_dim == 0:
+            raise ValueError("online adaptation needs a preference-conditioned agent")
+        self.agent = agent
+        self.spec = spec
+        self.config = config
+        self.replay = replay if replay is not None else RequirementReplay()
+        self.collector = collector or SerialCollector(spec)
+        ppo_cfg = ppo_config or PPOConfig.from_training_config(config)
+        self.ppo = PPOTrainer(agent.model, ppo_cfg, rng=np.random.default_rng(seed + 1))
+        self.rng = np.random.default_rng(seed + 2)
+        self._eval_env = spec.build(seed_offset=77_777)
+
+    def seed_replay(self, objectives) -> None:
+        """Pre-populate the replay pool (e.g. with offline landmarks)."""
+        for w in np.atleast_2d(np.asarray(objectives, dtype=np.float64)):
+            self.replay.add(w)
+
+    def adapt(self, new_weights, iterations: int, eval_every: int = 8,
+              old_weights=None, use_replay: bool = True) -> AdaptationTrace:
+        """Adapt to ``new_weights`` for ``iterations`` PPO iterations.
+
+        Each iteration collects a rollout on the new objective and --
+        when the replay pool is non-empty and ``use_replay`` -- one on a
+        sampled old objective, then applies the averaged loss of Eq. 6.
+        ``old_weights`` (if given) is evaluated every ``eval_every``
+        iterations to measure forgetting (Fig. 7b's snapshots).
+        """
+        new_weights = np.asarray(new_weights, dtype=np.float64)
+        trace = AdaptationTrace()
+        steps = self.config.steps_per_iteration
+
+        for it in range(iterations):
+            buffers, boots, mean_reward = self.collector.collect(
+                self.agent.model, new_weights, steps, self.rng)
+            replay_w = None
+            if use_replay:
+                replay_w = self.replay.sample(self.rng, exclude=new_weights)
+            if replay_w is not None:
+                old_buffers, old_boots, _ = self.collector.collect(
+                    self.agent.model, replay_w, steps, self.rng)
+                self.ppo.update(buffers + old_buffers, boots + old_boots)
+            else:
+                self.ppo.update(buffers, boots)
+            trace.rewards.append(mean_reward)
+
+            if eval_every and (it % eval_every == 0 or it == iterations - 1):
+                mark = evaluate_policy(self._eval_env, self.agent.model,
+                                       new_weights, self.rng)
+                trace.new_marks.append((it, mark))
+                if old_weights is not None:
+                    old_mark = evaluate_policy(self._eval_env, self.agent.model,
+                                               old_weights, self.rng)
+                    trace.old_marks.append((it, old_mark))
+
+        self.replay.add(new_weights)
+        return trace

@@ -1,0 +1,19 @@
+"""Datapath shims: how the MOCC library is deployed (§5).
+
+The paper integrates the MOCC library with two datapaths:
+
+* **UDT** -- a user-space transport; the shim-helper interacts with the
+  library at *every* monitor interval, so model inference runs in the
+  per-interval data loop (high CPU, Fig. 17);
+* **CCP** -- congestion control off the datapath; the kernel reports
+  aggregated measurements at a coarser cadence and the library is
+  consulted correspondingly less often (low CPU, Fig. 17).
+
+Both shims wrap the same :class:`repro.core.library.MOCC` object,
+demonstrating the "plug-and-play with any networking datapath" claim.
+"""
+
+from repro.datapath.udt import UdtShim
+from repro.datapath.ccp import CcpShim
+
+__all__ = ["UdtShim", "CcpShim"]

@@ -1,0 +1,44 @@
+"""Evaluation harness: runners, metrics and figure-data generators.
+
+Every table/figure in the paper's §6 is regenerated from these pieces:
+
+* :mod:`repro.eval.runner` -- run one scheme on one network, collect
+  :class:`FlowRecord` aggregates; run competing flows on shared links.
+* :mod:`repro.eval.metrics` -- link utilization, latency ratio, Jain's
+  fairness index, friendliness ratio, reward statistics.
+* :mod:`repro.eval.sweeps` -- the Fig. 5 parameter sweeps.
+* :mod:`repro.eval.gaussian` -- 1-sigma ellipses for Fig. 1(b).
+* :mod:`repro.eval.cdf` -- empirical CDFs (Figs. 6, 12, 16, 18).
+* :mod:`repro.eval.overhead` -- control-loop CPU cost (Fig. 17).
+"""
+
+from repro.eval.runner import (
+    EvalNetwork,
+    run_competition,
+    run_scheme,
+    scheme_factory,
+)
+from repro.eval.metrics import (
+    friendliness_ratio,
+    jain_index,
+    jain_index_series,
+    reward_of_record,
+)
+from repro.eval.gaussian import sigma_ellipse
+from repro.eval.cdf import empirical_cdf
+from repro.eval.sweeps import SweepResult, sweep_schemes
+
+__all__ = [
+    "EvalNetwork",
+    "run_scheme",
+    "run_competition",
+    "scheme_factory",
+    "jain_index",
+    "jain_index_series",
+    "friendliness_ratio",
+    "reward_of_record",
+    "sigma_ellipse",
+    "empirical_cdf",
+    "SweepResult",
+    "sweep_schemes",
+]

@@ -1,0 +1,36 @@
+"""Empirical CDFs for the reward-distribution figures (6, 12, 16, 18)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["empirical_cdf", "cdf_at", "format_cdf_table"]
+
+
+def empirical_cdf(samples) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted values and cumulative probabilities (right-continuous)."""
+    x = np.sort(np.asarray(samples, dtype=np.float64))
+    if len(x) == 0:
+        return x, x
+    p = np.arange(1, len(x) + 1) / len(x)
+    return x, p
+
+
+def cdf_at(samples, value: float) -> float:
+    """Fraction of samples <= value."""
+    x = np.asarray(samples, dtype=np.float64)
+    if len(x) == 0:
+        return 0.0
+    return float(np.mean(x <= value))
+
+
+def format_cdf_table(named_samples: dict[str, np.ndarray],
+                     percentiles=(10, 25, 50, 75, 90)) -> str:
+    """Tabulate per-scheme reward percentiles (the figures' key content)."""
+    header = "scheme".ljust(18) + "".join(f"p{p:<8}" for p in percentiles) + "mean"
+    lines = [header]
+    for name, samples in named_samples.items():
+        samples = np.asarray(samples, dtype=np.float64)
+        cells = "".join(f"{np.percentile(samples, p):<9.3f}" for p in percentiles)
+        lines.append(name.ljust(18) + cells + f"{samples.mean():.3f}")
+    return "\n".join(lines)

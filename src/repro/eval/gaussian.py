@@ -1,0 +1,65 @@
+"""Maximum-likelihood Gaussian ellipses for throughput-latency plots.
+
+Fig. 1(b) summarises each scheme's runs as "the 1-sigma elliptic
+contour of the maximum-likelihood 2D Gaussian distribution that
+explains the points".  :func:`sigma_ellipse` computes that contour's
+parameters (centre, axes, orientation) from raw samples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Ellipse", "sigma_ellipse"]
+
+
+@dataclass(frozen=True)
+class Ellipse:
+    """A 2-D confidence ellipse ``x = center + R(angle) @ diag(axes) @ unit``."""
+
+    center: tuple[float, float]
+    #: Semi-axis lengths (sqrt of covariance eigenvalues, scaled by n_sigma).
+    axes: tuple[float, float]
+    #: Rotation of the major axis, radians counter-clockwise from +x.
+    angle: float
+
+    def contour(self, points: int = 64) -> np.ndarray:
+        """Sample the contour polyline (shape ``(points, 2)``)."""
+        t = np.linspace(0.0, 2.0 * np.pi, points)
+        unit = np.stack([np.cos(t), np.sin(t)])
+        rot = np.array([[np.cos(self.angle), -np.sin(self.angle)],
+                        [np.sin(self.angle), np.cos(self.angle)]])
+        xy = rot @ (np.diag(self.axes) @ unit)
+        return xy.T + np.asarray(self.center)
+
+    def contains(self, point, tol: float = 1e-9) -> bool:
+        """Whether a point lies inside (or on) the ellipse."""
+        p = np.asarray(point, dtype=np.float64) - np.asarray(self.center)
+        rot = np.array([[np.cos(self.angle), np.sin(self.angle)],
+                        [-np.sin(self.angle), np.cos(self.angle)]])
+        local = rot @ p
+        a, b = self.axes
+        if a <= 0 or b <= 0:
+            return bool(np.allclose(p, 0.0, atol=tol))
+        return (local[0] / a) ** 2 + (local[1] / b) ** 2 <= 1.0 + tol
+
+
+def sigma_ellipse(samples: np.ndarray, n_sigma: float = 1.0) -> Ellipse:
+    """ML-Gaussian ``n_sigma`` contour of 2-D ``samples`` (shape (n, 2))."""
+    pts = np.atleast_2d(np.asarray(samples, dtype=np.float64))
+    if pts.shape[1] != 2:
+        raise ValueError("samples must be (n, 2)")
+    center = pts.mean(axis=0)
+    if len(pts) < 2:
+        return Ellipse(center=tuple(center), axes=(0.0, 0.0), angle=0.0)
+    cov = np.cov(pts.T, bias=True)  # ML estimate (1/n)
+    eigvals, eigvecs = np.linalg.eigh(cov)
+    order = np.argsort(eigvals)[::-1]
+    eigvals = np.clip(eigvals[order], 0.0, None)
+    eigvecs = eigvecs[:, order]
+    axes = n_sigma * np.sqrt(eigvals)
+    angle = float(np.arctan2(eigvecs[1, 0], eigvecs[0, 0]))
+    return Ellipse(center=(float(center[0]), float(center[1])),
+                   axes=(float(axes[0]), float(axes[1])), angle=angle)

@@ -1,0 +1,103 @@
+"""Parameter sweeps for the multi-objective performance study (Fig. 5).
+
+Fig. 5 evaluates every scheme while varying one network parameter at a
+time -- bandwidth (10-50 Mbps), one-way latency (10-200 ms), random
+loss (0-10 %) and buffer size (500-5000 packets) -- reporting link
+utilization for the throughput objective and latency ratio for the
+latency objective.  The evaluation ranges deliberately exceed the
+training ranges (Table 3) to probe robustness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.eval.runner import EvalNetwork, run_scheme, scheme_factory
+
+__all__ = ["SweepResult", "sweep_schemes", "FIG5_BANDWIDTHS", "FIG5_LATENCIES",
+           "FIG5_LOSSES", "FIG5_BUFFERS"]
+
+#: The x-axes of Fig. 5 (subsampled where the paper's grid is dense).
+FIG5_BANDWIDTHS = (10.0, 20.0, 30.0, 40.0, 50.0)
+FIG5_LATENCIES = (10.0, 40.0, 70.0, 100.0, 130.0, 160.0, 200.0)
+FIG5_LOSSES = (0.0, 0.01, 0.02, 0.03, 0.05, 0.08, 0.10)
+FIG5_BUFFERS = (500, 1500, 2500, 3500, 5000)
+
+
+@dataclass
+class SweepResult:
+    """Utilization/latency-ratio matrices over a parameter sweep."""
+
+    parameter: str
+    values: tuple
+    schemes: tuple
+    #: shape (len(schemes), len(values))
+    utilization: np.ndarray
+    latency_ratio: np.ndarray
+    loss_rate: np.ndarray
+
+    def row(self, scheme: str) -> dict:
+        i = self.schemes.index(scheme)
+        return {"utilization": self.utilization[i],
+                "latency_ratio": self.latency_ratio[i],
+                "loss_rate": self.loss_rate[i]}
+
+    def format_table(self, metric: str = "utilization") -> str:
+        data = getattr(self, metric)
+        header = "scheme".ljust(16) + "".join(f"{v:<9}" for v in self.values)
+        lines = [f"[{metric} vs {self.parameter}]", header]
+        for i, scheme in enumerate(self.schemes):
+            cells = "".join(f"{data[i, j]:<9.3f}" for j in range(len(self.values)))
+            lines.append(scheme.ljust(16) + cells)
+        return "\n".join(lines)
+
+
+def _network_for(parameter: str, value, base: EvalNetwork) -> EvalNetwork:
+    if parameter == "bandwidth":
+        return EvalNetwork(bandwidth_mbps=float(value), one_way_ms=base.one_way_ms,
+                           buffer_bdp=base.buffer_bdp, loss_rate=base.loss_rate,
+                           packet_bytes=base.packet_bytes)
+    if parameter == "latency":
+        return EvalNetwork(bandwidth_mbps=base.bandwidth_mbps, one_way_ms=float(value),
+                           buffer_bdp=base.buffer_bdp, loss_rate=base.loss_rate,
+                           packet_bytes=base.packet_bytes)
+    if parameter == "loss":
+        return EvalNetwork(bandwidth_mbps=base.bandwidth_mbps, one_way_ms=base.one_way_ms,
+                           buffer_bdp=base.buffer_bdp, loss_rate=float(value),
+                           packet_bytes=base.packet_bytes)
+    if parameter == "buffer":
+        return EvalNetwork(bandwidth_mbps=base.bandwidth_mbps, one_way_ms=base.one_way_ms,
+                           queue_packets=int(value), loss_rate=base.loss_rate,
+                           packet_bytes=base.packet_bytes)
+    raise ValueError(f"unknown sweep parameter {parameter!r}")
+
+
+def sweep_schemes(schemes, parameter: str, values, base: EvalNetwork | None = None,
+                  duration: float = 20.0, seed: int = 0,
+                  controller_kwargs: dict | None = None) -> SweepResult:
+    """Run every scheme at every parameter value; collect the metrics.
+
+    ``controller_kwargs`` carries the pre-trained agents for the
+    learning-based schemes (see :func:`repro.eval.runner.scheme_factory`).
+    """
+    base = base or EvalNetwork()
+    controller_kwargs = controller_kwargs or {}
+    schemes = tuple(schemes)
+    values = tuple(values)
+    shape = (len(schemes), len(values))
+    utilization = np.zeros(shape)
+    latency_ratio = np.zeros(shape)
+    loss_rate = np.zeros(shape)
+    for j, value in enumerate(values):
+        network = _network_for(parameter, value, base)
+        for i, scheme in enumerate(schemes):
+            controller = scheme_factory(scheme, network, seed=seed, **controller_kwargs)
+            record = run_scheme(controller, network, duration=duration, seed=seed)
+            utilization[i, j] = record.mean_utilization
+            latency_ratio[i, j] = record.latency_ratio
+            loss_rate[i, j] = record.loss_rate
+    return SweepResult(parameter=parameter, values=values, schemes=schemes,
+                       utilization=utilization, latency_ratio=latency_ratio,
+                       loss_rate=loss_rate)

@@ -1,0 +1,5 @@
+"""Pre-trained model registry (train-on-first-use, cached on disk)."""
+
+from repro.models.zoo import ModelZoo, default_zoo
+
+__all__ = ["ModelZoo", "default_zoo"]

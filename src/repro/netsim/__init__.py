@@ -1,0 +1,61 @@
+"""Discrete-event packet-level network simulator.
+
+This package is the reproduction of the training/evaluation substrate
+the paper builds on OpenAI Gym + Aurora's simulator (§5): Internet-like
+bottleneck links with configurable bandwidth (optionally time-varying
+via traces), one-way propagation delay, a finite drop-tail FIFO queue,
+and Bernoulli random loss.
+
+Layers, bottom-up:
+
+* :mod:`repro.netsim.traces` -- bandwidth processes (constant, step,
+  random-walk, piecewise).
+* :mod:`repro.netsim.packet` -- packet records.
+* :mod:`repro.netsim.link` -- the bottleneck link model.
+* :mod:`repro.netsim.sender` -- rate-paced and window (ack-clocked)
+  senders, monitor-interval statistics.
+* :mod:`repro.netsim.network` -- the event-driven simulation engine and
+  multi-flow topologies (single bottleneck / dumbbell).
+* :mod:`repro.netsim.history` -- the eta-length statistics history that
+  forms the RL state (§4.1).
+* :mod:`repro.netsim.env` -- gym-style environments:
+  :class:`CongestionControlEnv` (raw) and :class:`MoccEnv`
+  (preference-aware state + dynamic reward, Eq. 2).
+"""
+
+from repro.netsim.traces import (
+    BandwidthTrace,
+    ConstantTrace,
+    PiecewiseTrace,
+    RandomWalkTrace,
+    StepTrace,
+    mbps_to_pps,
+    pps_to_mbps,
+)
+from repro.netsim.packet import Packet
+from repro.netsim.link import Link
+from repro.netsim.sender import MonitorIntervalStats, Flow
+from repro.netsim.network import Simulation, FlowSpec, FlowRecord
+from repro.netsim.history import StatHistory
+from repro.netsim.env import CongestionControlEnv, MoccEnv, RewardComponents
+
+__all__ = [
+    "BandwidthTrace",
+    "ConstantTrace",
+    "StepTrace",
+    "RandomWalkTrace",
+    "PiecewiseTrace",
+    "mbps_to_pps",
+    "pps_to_mbps",
+    "Packet",
+    "Link",
+    "MonitorIntervalStats",
+    "Flow",
+    "Simulation",
+    "FlowSpec",
+    "FlowRecord",
+    "StatHistory",
+    "CongestionControlEnv",
+    "MoccEnv",
+    "RewardComponents",
+]

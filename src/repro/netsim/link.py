@@ -1,0 +1,141 @@
+"""Bottleneck link model: FIFO queue, drop-tail buffer, random loss.
+
+The link is modelled as a single FIFO server whose service rate follows
+a :class:`~repro.netsim.traces.BandwidthTrace`.  Rather than keeping an
+explicit packet queue, the link tracks the time at which the server
+will next be idle (``busy_until``); the backlog at time ``t`` is then
+``(busy_until - t) * rate``, which is exact for piecewise-constant
+rates within a busy period and is the same technique Aurora's simulator
+uses.  Drop-tail behaviour falls out naturally: a packet arriving when
+the backlog is at the buffer limit is discarded.
+
+Random loss is an independent Bernoulli drop applied *after* queueing
+(i.e. on the wire), matching the "random loss rate" knob of Table 3 and
+Fig. 5(c).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netsim.traces import BandwidthTrace, ConstantTrace
+
+__all__ = ["Link", "TransmitResult"]
+
+
+class TransmitResult:
+    """Outcome of offering one packet to the link at a given time."""
+
+    __slots__ = ("delivered", "drop_kind", "depart_time", "queue_delay")
+
+    def __init__(self, delivered: bool, drop_kind: str | None,
+                 depart_time: float, queue_delay: float):
+        self.delivered = delivered
+        self.drop_kind = drop_kind
+        self.depart_time = depart_time
+        self.queue_delay = queue_delay
+
+
+class Link:
+    """A unidirectional bottleneck link.
+
+    Parameters
+    ----------
+    trace:
+        Capacity process in packets/second (a plain float is promoted to
+        a :class:`ConstantTrace`).
+    delay:
+        One-way propagation delay in seconds (applied after the queue).
+    queue_size:
+        Buffer limit in packets (drop-tail).  ``0`` means no buffering:
+        any packet arriving while the server is busy is dropped.
+    loss_rate:
+        Bernoulli random-loss probability.
+    rng:
+        Random generator for loss draws (shared with the simulation for
+        reproducibility).
+    """
+
+    def __init__(self, trace: BandwidthTrace | float, delay: float,
+                 queue_size: int, loss_rate: float = 0.0,
+                 rng: np.random.Generator | None = None):
+        if isinstance(trace, (int, float)):
+            trace = ConstantTrace(float(trace))
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        if queue_size < 0:
+            raise ValueError("queue_size must be non-negative")
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+        self.trace = trace
+        self.delay = float(delay)
+        self.queue_size = int(queue_size)
+        self.loss_rate = float(loss_rate)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.busy_until = 0.0
+        # Counters for diagnostics/tests.
+        self.delivered = 0
+        self.dropped_buffer = 0
+        self.dropped_random = 0
+
+    # --- queue state ------------------------------------------------------
+
+    def bandwidth_at(self, t: float) -> float:
+        """Instantaneous service rate (packets/second)."""
+        return self.trace.bandwidth_at(t)
+
+    def queue_delay_at(self, t: float) -> float:
+        """Waiting time a packet arriving at ``t`` would spend queued."""
+        return max(0.0, self.busy_until - t)
+
+    def backlog_at(self, t: float) -> float:
+        """Approximate queue occupancy (packets) at time ``t``."""
+        return self.queue_delay_at(t) * self.bandwidth_at(t)
+
+    # --- transmission -----------------------------------------------------
+
+    def transmit(self, t: float) -> TransmitResult:
+        """Offer one packet to the link at time ``t``.
+
+        Returns a :class:`TransmitResult`; ``depart_time`` is the time
+        the packet reaches the far end of the link (queue + service +
+        propagation) when delivered.  For buffer drops ``depart_time``
+        is the moment of the drop (the packet never leaves); for random
+        drops it is the time the packet would have arrived (the drop
+        happens on the wire, so downstream loss detection sees the
+        normal timing).
+        """
+        rate = self.bandwidth_at(t)
+        service = 1.0 / rate
+        queue_delay = self.queue_delay_at(t)
+        backlog = queue_delay * rate
+        # The buffer holds `queue_size` waiting packets; the packet in
+        # service occupies the server, not the buffer.
+        if backlog >= self.queue_size + 1.0 - 1e-9:
+            self.dropped_buffer += 1
+            return TransmitResult(False, "buffer", t, queue_delay)
+        self.busy_until = max(self.busy_until, t) + service
+        depart = t + queue_delay + service + self.delay
+        if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
+            self.dropped_random += 1
+            return TransmitResult(False, "random", depart, queue_delay)
+        self.delivered += 1
+        return TransmitResult(True, None, depart, queue_delay)
+
+    def reset(self) -> None:
+        """Clear queue state and counters."""
+        self.busy_until = 0.0
+        self.delivered = 0
+        self.dropped_buffer = 0
+        self.dropped_random = 0
+
+    # --- convenience --------------------------------------------------------
+
+    @property
+    def base_rtt(self) -> float:
+        """Round-trip propagation time across this link (no queueing)."""
+        return 2.0 * self.delay
+
+    def bdp_packets(self, t: float = 0.0) -> float:
+        """Bandwidth-delay product in packets at time ``t``."""
+        return self.bandwidth_at(t) * self.base_rtt

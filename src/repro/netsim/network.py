@@ -1,0 +1,278 @@
+"""The discrete-event simulation engine and flow topologies.
+
+The engine advances a heap of timestamped events over one or more
+:class:`~repro.netsim.link.Link` objects shared by any number of flows.
+Single-bottleneck and dumbbell topologies (all the paper's experiments)
+are just flows sharing the same link list.
+
+Event kinds:
+
+* ``send``  -- a flow attempts to emit its next packet;
+* ``ack``   -- a delivered packet's acknowledgement reaches the sender;
+* ``loss``  -- the sender learns a packet was lost (about one RTT after
+  the drop, approximating duplicate-ack/timeout detection);
+* ``mi``    -- a flow's monitor-interval boundary.
+
+The engine supports incremental execution (``run(until=...)``) so the
+gym-style environments can interleave RL decisions with simulation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.netsim.link import Link
+from repro.netsim.packet import Packet
+from repro.netsim.sender import Controller, Flow, MonitorIntervalStats
+
+__all__ = ["FlowSpec", "FlowRecord", "Simulation"]
+
+#: Pacing-rate clamps (packets/second) applied when scheduling sends.
+MIN_RATE_PPS = 0.5
+#: Cap on rate relative to the bottleneck's maximum capacity.
+MAX_RATE_FACTOR = 8.0
+#: Fallback monitor-interval duration when a path has zero delay.
+MIN_MI_DURATION = 0.01
+
+
+@dataclass
+class FlowSpec:
+    """Declarative description of one flow for :class:`Simulation`."""
+
+    controller: Controller
+    start_time: float = 0.0
+    stop_time: float = float("inf")
+    packet_bytes: int = 1500
+    mi_duration: float | None = None
+    keep_packets: bool = False
+
+
+@dataclass
+class FlowRecord:
+    """Aggregate results of one flow after a simulation run."""
+
+    flow_id: int
+    scheme: str
+    mean_throughput_pps: float
+    mean_throughput_mbps: float
+    mean_utilization: float
+    mean_rtt: float | None
+    base_rtt: float
+    loss_rate: float
+    records: list[MonitorIntervalStats] = field(repr=False, default_factory=list)
+
+    @property
+    def latency_ratio(self) -> float:
+        """Mean RTT over propagation RTT (>= 1.0 in a healthy run)."""
+        if self.mean_rtt is None or self.base_rtt <= 0:
+            return float("inf")
+        return self.mean_rtt / self.base_rtt
+
+
+class Simulation:
+    """Event-driven simulation of flows sharing a path of links."""
+
+    def __init__(self, links: Link | list[Link], specs: list[FlowSpec],
+                 duration: float, seed: int = 0, jitter: float = 0.02):
+        self.links = [links] if isinstance(links, Link) else list(links)
+        if not self.links:
+            raise ValueError("need at least one link")
+        self.duration = float(duration)
+        self.jitter = float(jitter)
+        self.rng = np.random.default_rng(seed)
+        self.now = 0.0
+        self._heap: list[tuple[float, int, str, int, Packet | None]] = []
+        self._seq = 0
+
+        self.base_rtt = 2.0 * sum(link.delay for link in self.links)
+        self._return_delay = sum(link.delay for link in self.links)
+        self._max_rate = MAX_RATE_FACTOR * min(
+            link.trace.max_bandwidth() for link in self.links)
+
+        self.flows: list[Flow] = []
+        for spec in specs:
+            flow = Flow(
+                flow_id=len(self.flows), controller=spec.controller,
+                packet_bytes=spec.packet_bytes, start_time=spec.start_time,
+                stop_time=min(spec.stop_time, duration),
+                mi_duration=spec.mi_duration, keep_packets=spec.keep_packets)
+            if flow.mi_duration is None:
+                flow.mi_duration = max(self.base_rtt, MIN_MI_DURATION)
+            self.flows.append(flow)
+            self._push(spec.start_time, "start", flow.flow_id, None)
+
+    # --- event plumbing -----------------------------------------------------
+
+    def _push(self, time: float, kind: str, flow_id: int, packet: Packet | None) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, kind, flow_id, packet))
+
+    def run(self, until: float | None = None) -> None:
+        """Process events up to ``until`` (default: the full duration)."""
+        horizon = self.duration if until is None else min(until, self.duration)
+        while self._heap and self._heap[0][0] <= horizon:
+            time, _, kind, flow_id, packet = heapq.heappop(self._heap)
+            self.now = time
+            flow = self.flows[flow_id]
+            if kind == "start":
+                self._handle_start(flow)
+            elif kind == "send":
+                self._handle_send(flow)
+            elif kind == "ack":
+                self._handle_ack(flow, packet)
+            elif kind == "loss":
+                self._handle_loss(flow, packet)
+            elif kind == "mi":
+                self._handle_mi(flow)
+        self.now = max(self.now, horizon)
+
+    def run_all(self) -> list[FlowRecord]:
+        """Run to completion and return per-flow summaries."""
+        self.run()
+        self._finalize()
+        return [self.summary(flow.flow_id) for flow in self.flows]
+
+    def _finalize(self) -> None:
+        for flow in self.flows:
+            end = min(flow.stop_time, self.duration)
+            if flow.started and (flow.mi_sent or flow.mi_acked or flow.mi_lost):
+                if end > flow.mi_start:
+                    self._close_mi(flow, end)
+
+    # --- event handlers -------------------------------------------------------
+
+    def _handle_start(self, flow: Flow) -> None:
+        flow.started = True
+        flow.mi_start = self.now
+        flow.controller.on_flow_start(flow, self.now)
+        self._push(self.now + flow.mi_duration, "mi", flow.flow_id, None)
+        self._schedule_send(flow, self.now)
+
+    def _handle_send(self, flow: Flow) -> None:
+        flow.send_scheduled = False
+        if flow.stopped or self.now >= flow.stop_time:
+            return
+        controller = flow.controller
+        if controller.kind == "window":
+            cwnd = controller.cwnd(self.now)
+            if flow.inflight >= cwnd:
+                return  # re-armed by the next ack/loss
+            self._emit_packet(flow)
+            if flow.inflight < cwnd:
+                # Pace the remaining window over one smoothed RTT.
+                srtt = flow.srtt or max(self.base_rtt, MIN_MI_DURATION)
+                gap = srtt / max(cwnd, 1.0)
+                self._schedule_send(flow, self.now + gap)
+        else:
+            rate = controller.pacing_rate(self.now)
+            rate = min(max(rate, MIN_RATE_PPS), self._max_rate)
+            cap = controller.inflight_cap(self.now)
+            if cap is None or flow.inflight < cap:
+                self._emit_packet(flow)
+            # Small pacing jitter: without it, equal-rate flows phase-lock
+            # (one flow's packet always reaches a full queue first and the
+            # other takes every drop) -- an artifact no real pacer has.
+            gap = (1.0 / rate) * (1.0 + self.jitter * (self.rng.random() - 0.5))
+            self._schedule_send(flow, self.now + gap)
+
+    def _schedule_send(self, flow: Flow, time: float) -> None:
+        if flow.send_scheduled or flow.stopped:
+            return
+        if time >= flow.stop_time:
+            return
+        flow.send_scheduled = True
+        self._push(max(time, self.now), "send", flow.flow_id, None)
+
+    def _emit_packet(self, flow: Flow) -> None:
+        packet = Packet(flow_id=flow.flow_id, seq=flow.next_seq,
+                        send_time=self.now, size_bytes=flow.packet_bytes)
+        flow.next_seq += 1
+        flow.note_sent(packet)
+
+        cursor = self.now
+        queue_delay = 0.0
+        delivered = True
+        drop_kind = None
+        for link in self.links:
+            result = link.transmit(cursor)
+            queue_delay += result.queue_delay
+            if not result.delivered:
+                delivered = False
+                drop_kind = result.drop_kind
+                break
+            cursor = result.depart_time
+        packet.queue_delay = queue_delay
+
+        if delivered:
+            packet.arrival_time = cursor
+            ack_time = cursor + self._return_delay
+            packet.ack_time = ack_time
+            self._push(ack_time, "ack", flow.flow_id, packet)
+        else:
+            packet.dropped = True
+            packet.drop_kind = drop_kind
+            notice = self.now + self.base_rtt + queue_delay
+            self._push(notice, "loss", flow.flow_id, packet)
+
+    def _handle_ack(self, flow: Flow, packet: Packet) -> None:
+        flow.note_ack(packet, self.now)
+        flow.controller.on_ack(flow, packet, self.now)
+        self._clock_window(flow)
+
+    def _handle_loss(self, flow: Flow, packet: Packet) -> None:
+        flow.note_loss(packet, self.now)
+        flow.controller.on_loss(flow, packet, self.now)
+        self._clock_window(flow)
+
+    def _clock_window(self, flow: Flow) -> None:
+        """Ack-clocking: window flows send as soon as the window opens."""
+        if flow.stopped or flow.controller.kind != "window":
+            return
+        if flow.inflight < flow.controller.cwnd(self.now):
+            self._schedule_send(flow, self.now)
+
+    def _handle_mi(self, flow: Flow) -> None:
+        if flow.stopped:
+            return
+        if self.now >= flow.stop_time:
+            flow.stopped = True
+            return
+        self._close_mi(flow, self.now)
+        self._push(self.now + flow.mi_duration, "mi", flow.flow_id, None)
+
+    def _close_mi(self, flow: Flow, now: float) -> None:
+        capacity = self._bottleneck_capacity(flow.mi_start, now)
+        rate = self._effective_rate(flow)
+        stats = flow.finish_mi(now, capacity, self.base_rtt, rate)
+        flow.controller.on_mi(flow, stats, now)
+
+    # --- helpers ----------------------------------------------------------------
+
+    def _bottleneck_capacity(self, t0: float, t1: float) -> float:
+        return min(link.trace.mean_bandwidth(t0, t1, samples=9) for link in self.links)
+
+    def _effective_rate(self, flow: Flow) -> float:
+        controller = flow.controller
+        if controller.kind == "rate":
+            return controller.pacing_rate(self.now)
+        srtt = flow.srtt or max(self.base_rtt, MIN_MI_DURATION)
+        return controller.cwnd(self.now) / srtt
+
+    def summary(self, flow_id: int) -> FlowRecord:
+        """Aggregate results for one flow."""
+        flow = self.flows[flow_id]
+        thr_pps = flow.mean_throughput_pps()
+        return FlowRecord(
+            flow_id=flow_id,
+            scheme=flow.controller.name,
+            mean_throughput_pps=thr_pps,
+            mean_throughput_mbps=thr_pps * flow.packet_bytes * 8 / 1e6,
+            mean_utilization=flow.mean_utilization(),
+            mean_rtt=flow.mean_rtt(),
+            base_rtt=self.base_rtt,
+            loss_rate=flow.overall_loss_rate(),
+            records=list(flow.records),
+        )

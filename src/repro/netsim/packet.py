@@ -1,0 +1,35 @@
+"""Packet records for the discrete-event simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Packet"]
+
+
+@dataclass(slots=True)
+class Packet:
+    """One simulated data packet.
+
+    Timestamps are in simulation seconds.  A packet either arrives at
+    the receiver (``arrival_time`` set, ``dropped`` False) or is dropped
+    in flight (``dropped`` True and ``drop_kind`` records whether the
+    drop was a buffer overflow or random loss).
+    """
+
+    flow_id: int
+    seq: int
+    send_time: float
+    size_bytes: int = 1500
+    arrival_time: float | None = None
+    ack_time: float | None = None
+    dropped: bool = False
+    drop_kind: str | None = None  # "buffer" | "random"
+    queue_delay: float = 0.0
+
+    @property
+    def rtt(self) -> float | None:
+        """Round-trip time, if the packet was acknowledged."""
+        if self.ack_time is None:
+            return None
+        return self.ack_time - self.send_time

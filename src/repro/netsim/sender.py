@@ -1,0 +1,314 @@
+"""Flow state, sender models and monitor-interval statistics.
+
+A *flow* is one end-to-end sender/receiver pair driven by a congestion
+controller.  Two sender models are supported, covering every scheme the
+paper evaluates:
+
+* **rate-paced** senders emit packets at the controller's pacing rate
+  (PCC, BBR, Copa, Aurora, Orca's RL half, MOCC);
+* **window-based** senders are ack-clocked against a congestion window
+  (CUBIC, Vegas), paced within an RTT to avoid artificial bursts.
+
+Statistics are aggregated per *monitor interval* (MI), the sensing
+granularity of learning-based CC (§4.1): packets sent/acked/lost, mean
+RTT, and the three state features the paper feeds its model --
+
+* sending ratio ``l_t``      = packets sent / packets acked,
+* latency ratio ``p_t``      = mean RTT of this MI / min mean RTT seen,
+* latency gradient ``q_t``   = d RTT / dt (regression slope over acks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.netsim.packet import Packet
+
+__all__ = ["Controller", "ExternalRateController", "MonitorIntervalStats", "Flow"]
+
+#: Feature caps keep state inputs bounded when an MI sees no acks.
+SEND_RATIO_CAP = 5.0
+LATENCY_RATIO_CAP = 10.0
+
+
+class Controller:
+    """Interface between a flow and its congestion-control algorithm.
+
+    Subclasses set ``kind`` to ``"rate"`` or ``"window"`` and implement
+    the corresponding property (:meth:`pacing_rate` or :meth:`cwnd`).
+    Event hooks default to no-ops so simple controllers stay simple.
+    """
+
+    #: "rate" (pacing) or "window" (ack-clocked cwnd).
+    kind = "rate"
+    #: Human-readable scheme name, used in experiment tables.
+    name = "controller"
+
+    def on_flow_start(self, flow: "Flow", now: float) -> None:
+        """Called once when the flow starts."""
+
+    def on_ack(self, flow: "Flow", packet: Packet, now: float) -> None:
+        """Called for every acknowledged packet."""
+
+    def on_loss(self, flow: "Flow", packet: Packet, now: float) -> None:
+        """Called when the sender learns a packet was lost."""
+
+    def on_mi(self, flow: "Flow", stats: "MonitorIntervalStats", now: float) -> None:
+        """Called at each monitor-interval boundary."""
+
+    def pacing_rate(self, now: float) -> float:
+        """Current pacing rate in packets/second (rate-based only)."""
+        raise NotImplementedError
+
+    def cwnd(self, now: float) -> float:
+        """Current congestion window in packets (window-based only)."""
+        raise NotImplementedError
+
+    def inflight_cap(self, now: float) -> float | None:
+        """Optional inflight backstop for rate-based controllers.
+
+        BBR-style schemes pace by rate but still bound the data in
+        flight (e.g. 2x BDP); return ``None`` for no cap.
+        """
+        return None
+
+
+class ExternalRateController(Controller):
+    """Rate controller whose rate is set from outside the simulation.
+
+    This is the bridge used by the gym-style environments: the RL agent
+    computes a rate between simulation steps and writes it here.
+    """
+
+    kind = "rate"
+    name = "external"
+
+    def __init__(self, initial_rate: float):
+        self.rate = float(initial_rate)
+
+    def pacing_rate(self, now: float) -> float:
+        return self.rate
+
+    def set_rate(self, rate: float) -> None:
+        self.rate = float(rate)
+
+
+@dataclass
+class MonitorIntervalStats:
+    """Sender-observable statistics for one monitor interval."""
+
+    flow_id: int
+    start: float
+    end: float
+    sent: int
+    acked: int
+    lost: int
+    mean_rtt: float | None
+    min_rtt: float | None
+    #: Regression slope of RTT over ack time within the MI (s/s).
+    latency_gradient: float
+    #: Mean bottleneck capacity over the MI, packets/second.
+    capacity_pps: float
+    #: Round-trip propagation delay of the path (no queueing), seconds.
+    base_rtt: float
+    #: Packet size used by the flow, bytes.
+    packet_bytes: int
+    #: Pacing rate / effective send rate at the end of the MI (pps).
+    rate_pps: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def throughput_pps(self) -> float:
+        """Delivered throughput (acknowledged packets over the MI)."""
+        if self.duration <= 0:
+            return 0.0
+        return self.acked / self.duration
+
+    @property
+    def throughput_mbps(self) -> float:
+        return self.throughput_pps * self.packet_bytes * 8 / 1e6
+
+    @property
+    def utilization(self) -> float:
+        """Delivered throughput over capacity, clipped to [0, 1]."""
+        if self.capacity_pps <= 0:
+            return 0.0
+        return min(self.throughput_pps / self.capacity_pps, 1.0)
+
+    @property
+    def loss_rate(self) -> float:
+        """Fraction of sent packets known lost this MI."""
+        total = self.lost + self.acked
+        if total == 0:
+            return 0.0
+        return self.lost / total
+
+    @property
+    def latency_ratio_to_base(self) -> float:
+        """Mean RTT over propagation RTT (the Fig. 5e-h metric)."""
+        if self.mean_rtt is None or self.base_rtt <= 0:
+            return LATENCY_RATIO_CAP
+        return self.mean_rtt / self.base_rtt
+
+    def send_ratio(self) -> float:
+        """l_t = sent/acked, capped when nothing was acknowledged."""
+        if self.acked == 0:
+            return SEND_RATIO_CAP if self.sent > 0 else 1.0
+        return min(self.sent / self.acked, SEND_RATIO_CAP)
+
+
+class Flow:
+    """Runtime state of one flow inside a simulation."""
+
+    def __init__(self, flow_id: int, controller: Controller, packet_bytes: int = 1500,
+                 start_time: float = 0.0, stop_time: float = float("inf"),
+                 mi_duration: float | None = None, keep_packets: bool = False):
+        self.flow_id = flow_id
+        self.controller = controller
+        self.packet_bytes = packet_bytes
+        self.start_time = start_time
+        self.stop_time = stop_time
+        self.mi_duration = mi_duration  # None -> engine picks base RTT
+        self.keep_packets = keep_packets
+
+        # Sequence / inflight bookkeeping.
+        self.next_seq = 0
+        self.inflight = 0
+        self.send_scheduled = False
+        self.started = False
+        self.stopped = False
+
+        # Lifetime counters.
+        self.total_sent = 0
+        self.total_acked = 0
+        self.total_lost = 0
+        self.min_rtt_seen: float | None = None
+        self.last_rtt: float | None = None
+        self.srtt: float | None = None
+        #: Online link-capacity estimate (max observed MI throughput, §4.1).
+        self.max_throughput_seen: float = 0.0
+
+        # Current-MI accumulators.
+        self.mi_start = start_time
+        self.mi_sent = 0
+        self.mi_acked = 0
+        self.mi_lost = 0
+        self.mi_rtt_samples: list[tuple[float, float]] = []
+
+        # History.
+        self.records: list[MonitorIntervalStats] = []
+        self.packets: list[Packet] = []
+        self._min_mean_rtt: float | None = None
+
+    # --- accounting hooks (called by the engine) ---------------------------
+
+    def note_sent(self, packet: Packet) -> None:
+        self.total_sent += 1
+        self.mi_sent += 1
+        self.inflight += 1
+        if self.keep_packets:
+            self.packets.append(packet)
+
+    def note_ack(self, packet: Packet, now: float) -> None:
+        self.total_acked += 1
+        self.mi_acked += 1
+        self.inflight = max(0, self.inflight - 1)
+        rtt = now - packet.send_time
+        self.last_rtt = rtt
+        self.srtt = rtt if self.srtt is None else 0.875 * self.srtt + 0.125 * rtt
+        if self.min_rtt_seen is None or rtt < self.min_rtt_seen:
+            self.min_rtt_seen = rtt
+        self.mi_rtt_samples.append((now, rtt))
+
+    def note_loss(self, packet: Packet, now: float) -> None:
+        self.total_lost += 1
+        self.mi_lost += 1
+        self.inflight = max(0, self.inflight - 1)
+
+    # --- monitor intervals ---------------------------------------------------
+
+    def finish_mi(self, now: float, capacity_pps: float, base_rtt: float,
+                  rate_pps: float) -> MonitorIntervalStats:
+        """Close the current MI, appending and returning its statistics."""
+        samples = self.mi_rtt_samples
+        if samples:
+            rtts = np.array([s[1] for s in samples])
+            mean_rtt: float | None = float(rtts.mean())
+            min_rtt: float | None = float(rtts.min())
+            gradient = _rtt_slope(samples)
+        else:
+            mean_rtt = None
+            min_rtt = None
+            gradient = 0.0
+        stats = MonitorIntervalStats(
+            flow_id=self.flow_id, start=self.mi_start, end=now,
+            sent=self.mi_sent, acked=self.mi_acked, lost=self.mi_lost,
+            mean_rtt=mean_rtt, min_rtt=min_rtt, latency_gradient=gradient,
+            capacity_pps=capacity_pps, base_rtt=base_rtt,
+            packet_bytes=self.packet_bytes, rate_pps=rate_pps)
+        if mean_rtt is not None:
+            if self._min_mean_rtt is None or mean_rtt < self._min_mean_rtt:
+                self._min_mean_rtt = mean_rtt
+        if stats.duration > 0:
+            self.max_throughput_seen = max(self.max_throughput_seen,
+                                           stats.throughput_pps)
+        self.records.append(stats)
+        self.mi_start = now
+        self.mi_sent = 0
+        self.mi_acked = 0
+        self.mi_lost = 0
+        self.mi_rtt_samples = []
+        return stats
+
+    def latency_ratio(self, stats: MonitorIntervalStats) -> float:
+        """p_t = mean RTT of the MI over the best mean RTT seen so far."""
+        if stats.mean_rtt is None or self._min_mean_rtt is None:
+            return LATENCY_RATIO_CAP
+        return min(stats.mean_rtt / self._min_mean_rtt, LATENCY_RATIO_CAP)
+
+    # --- aggregates -----------------------------------------------------------
+
+    def mean_throughput_pps(self) -> float:
+        """Delivered throughput over the whole recorded run."""
+        if not self.records:
+            return 0.0
+        total_acked = sum(r.acked for r in self.records)
+        span = self.records[-1].end - self.records[0].start
+        if span <= 0:
+            return 0.0
+        return total_acked / span
+
+    def mean_utilization(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.utilization for r in self.records]))
+
+    def mean_rtt(self) -> float | None:
+        rtts = [r.mean_rtt for r in self.records if r.mean_rtt is not None]
+        if not rtts:
+            return None
+        return float(np.mean(rtts))
+
+    def overall_loss_rate(self) -> float:
+        total = self.total_acked + self.total_lost
+        if total == 0:
+            return 0.0
+        return self.total_lost / total
+
+
+def _rtt_slope(samples: list[tuple[float, float]]) -> float:
+    """Least-squares slope of RTT vs. ack time (the latency gradient)."""
+    if len(samples) < 2:
+        return 0.0
+    times = np.array([s[0] for s in samples])
+    rtts = np.array([s[1] for s in samples])
+    t_center = times - times.mean()
+    denom = float(np.dot(t_center, t_center))
+    if denom <= 1e-12:
+        return 0.0
+    return float(np.dot(t_center, rtts - rtts.mean()) / denom)

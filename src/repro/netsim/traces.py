@@ -1,0 +1,176 @@
+"""Bandwidth traces: time-varying link capacity processes.
+
+The paper's motivating experiment (Fig. 1a) uses a bottleneck whose
+bandwidth oscillates between 20 and 30 Mbps; training randomises static
+capacities over Table 3's ranges.  A trace maps simulation time to
+capacity in packets/second so the link model never needs to know about
+bits.
+
+All traces are deterministic given their constructor arguments (the
+random-walk trace takes an explicit seed), which keeps experiments
+reproducible.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+import numpy as np
+
+__all__ = [
+    "mbps_to_pps",
+    "pps_to_mbps",
+    "BandwidthTrace",
+    "ConstantTrace",
+    "StepTrace",
+    "RandomWalkTrace",
+    "PiecewiseTrace",
+]
+
+#: Default simulated packet size (bytes).  1500 B is the standard
+#: Ethernet MTU the paper's testbed uses.
+DEFAULT_PACKET_BYTES = 1500
+
+
+def mbps_to_pps(mbps: float, packet_bytes: int = DEFAULT_PACKET_BYTES) -> float:
+    """Convert a bandwidth in Mbps to packets/second."""
+    return mbps * 1e6 / (packet_bytes * 8)
+
+
+def pps_to_mbps(pps: float, packet_bytes: int = DEFAULT_PACKET_BYTES) -> float:
+    """Convert packets/second back to Mbps."""
+    return pps * packet_bytes * 8 / 1e6
+
+
+class BandwidthTrace:
+    """Base class: capacity as a function of time (packets/second)."""
+
+    def bandwidth_at(self, t: float) -> float:
+        """Instantaneous capacity at time ``t`` (seconds)."""
+        raise NotImplementedError
+
+    def max_bandwidth(self) -> float:
+        """Upper bound on capacity (used for rate clamping)."""
+        raise NotImplementedError
+
+    def mean_bandwidth(self, t0: float, t1: float, samples: int = 64) -> float:
+        """Average capacity over ``[t0, t1]`` (midpoint sampling)."""
+        if t1 <= t0:
+            return self.bandwidth_at(t0)
+        times = np.linspace(t0, t1, samples)
+        return float(np.mean([self.bandwidth_at(float(t)) for t in times]))
+
+
+class ConstantTrace(BandwidthTrace):
+    """Fixed capacity."""
+
+    def __init__(self, pps: float):
+        if pps <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.pps = float(pps)
+
+    def bandwidth_at(self, t: float) -> float:
+        return self.pps
+
+    def max_bandwidth(self) -> float:
+        return self.pps
+
+    def mean_bandwidth(self, t0: float, t1: float, samples: int = 64) -> float:
+        return self.pps
+
+    @classmethod
+    def from_mbps(cls, mbps: float, packet_bytes: int = DEFAULT_PACKET_BYTES) -> "ConstantTrace":
+        return cls(mbps_to_pps(mbps, packet_bytes))
+
+
+class StepTrace(BandwidthTrace):
+    """Square wave between ``low`` and ``high``, toggling every ``period``.
+
+    Fig. 1(a) uses this shape: the bottleneck alternates 20 <-> 30 Mbps.
+    The wave starts at ``high``.
+    """
+
+    def __init__(self, low_pps: float, high_pps: float, period: float, start_high: bool = True):
+        if low_pps <= 0 or high_pps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.low = float(low_pps)
+        self.high = float(high_pps)
+        self.period = float(period)
+        self.start_high = start_high
+
+    def bandwidth_at(self, t: float) -> float:
+        phase = int(t / self.period) % 2
+        first, second = (self.high, self.low) if self.start_high else (self.low, self.high)
+        return first if phase == 0 else second
+
+    def max_bandwidth(self) -> float:
+        return max(self.low, self.high)
+
+    @classmethod
+    def from_mbps(cls, low_mbps: float, high_mbps: float, period: float,
+                  packet_bytes: int = DEFAULT_PACKET_BYTES, start_high: bool = True) -> "StepTrace":
+        return cls(mbps_to_pps(low_mbps, packet_bytes),
+                   mbps_to_pps(high_mbps, packet_bytes), period, start_high)
+
+
+class RandomWalkTrace(BandwidthTrace):
+    """Piecewise-constant multiplicative random walk within bounds.
+
+    Every ``interval`` seconds the capacity is multiplied by a factor
+    drawn uniformly from ``[1 - step, 1 + step]`` and clamped to
+    ``[low, high]``.  The walk is pre-generated for ``horizon`` seconds
+    so lookups are O(1).
+    """
+
+    def __init__(self, low_pps: float, high_pps: float, interval: float = 1.0,
+                 step: float = 0.2, horizon: float = 600.0, seed: int = 0):
+        if not 0 < low_pps <= high_pps:
+            raise ValueError("need 0 < low <= high")
+        rng = np.random.default_rng(seed)
+        n = max(1, int(np.ceil(horizon / interval)) + 1)
+        values = np.empty(n)
+        values[0] = rng.uniform(low_pps, high_pps)
+        for i in range(1, n):
+            factor = 1.0 + rng.uniform(-step, step)
+            values[i] = min(max(values[i - 1] * factor, low_pps), high_pps)
+        self.interval = float(interval)
+        self.values = values
+        self.low = float(low_pps)
+        self.high = float(high_pps)
+
+    def bandwidth_at(self, t: float) -> float:
+        idx = int(t / self.interval)
+        idx = min(max(idx, 0), len(self.values) - 1)
+        return float(self.values[idx])
+
+    def max_bandwidth(self) -> float:
+        return self.high
+
+
+class PiecewiseTrace(BandwidthTrace):
+    """Arbitrary (time, capacity) breakpoints with step interpolation.
+
+    ``points`` is a sequence of ``(start_time, pps)`` pairs sorted by
+    time; the capacity holds from each start time until the next.
+    """
+
+    def __init__(self, points: list[tuple[float, float]]):
+        if not points:
+            raise ValueError("need at least one breakpoint")
+        times = [p[0] for p in points]
+        if times != sorted(times):
+            raise ValueError("breakpoints must be sorted by time")
+        if any(p[1] <= 0 for p in points):
+            raise ValueError("bandwidth must be positive")
+        self.times = times
+        self.pps = [float(p[1]) for p in points]
+
+    def bandwidth_at(self, t: float) -> float:
+        idx = bisect.bisect_right(self.times, t) - 1
+        idx = max(idx, 0)
+        return self.pps[idx]
+
+    def max_bandwidth(self) -> float:
+        return max(self.pps)

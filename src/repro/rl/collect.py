@@ -1,0 +1,95 @@
+"""Rollout collection: run a policy in a MoccEnv and fill a buffer.
+
+This is the glue between the simulator (:mod:`repro.netsim.env`) and
+the PPO trainer.  Both MOCC (preference-conditioned) and Aurora-style
+(single-objective) agents are served: for the latter, the weight vector
+still parameterises the *environment's* reward (the objective the agent
+is being trained for) but is not part of the model's state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netsim.env import MoccEnv
+from repro.rl.policy import PreferenceActorCritic
+from repro.rl.rollout import RolloutBuffer
+
+__all__ = ["collect_rollout", "evaluate_policy", "run_policy_episode"]
+
+
+def collect_rollout(env: MoccEnv, model: PreferenceActorCritic, weights,
+                    steps: int, rng: np.random.Generator,
+                    obs_state: tuple | None = None):
+    """Collect ``steps`` on-policy transitions for the given objective.
+
+    Returns ``(buffer, bootstrap_value, mean_episode_reward, carry)``.
+    ``carry`` is the ``(obs, weights)`` pair to resume from (pass it back
+    as ``obs_state`` to continue the same episode across iterations).
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    conditioned = model.weight_dim > 0
+    buffer = RolloutBuffer(env.observation_dim, model.weight_dim, model.act_dim, steps)
+
+    if obs_state is None:
+        obs, w_obs = env.reset(weights)
+    else:
+        obs, w_obs = obs_state
+
+    episode_rewards: list[float] = []
+    episode_total = 0.0
+    done = False
+    for _ in range(steps):
+        w_in = w_obs if conditioned else None
+        action, log_prob, value = model.act(obs, w_in, rng)
+        next_obs, next_w, reward, _, done, _ = env.step(float(action[0]))
+        buffer.add(obs, action, log_prob, value, reward, done,
+                   weights=w_obs if conditioned else None)
+        episode_total += reward
+        if done:
+            episode_rewards.append(episode_total)
+            episode_total = 0.0
+            obs, w_obs = env.reset(weights)
+        else:
+            obs, w_obs = next_obs, next_w
+
+    if done:
+        bootstrap = 0.0
+    else:
+        bootstrap = model.value(obs, w_obs if conditioned else None)
+    if not episode_rewards:
+        episode_rewards.append(episode_total)
+    return buffer, bootstrap, float(np.mean(episode_rewards)), (obs, w_obs)
+
+
+def run_policy_episode(env: MoccEnv, model: PreferenceActorCritic, weights,
+                       rng: np.random.Generator, deterministic: bool = True):
+    """Run one full episode; return ``(total_reward, mean_components)``.
+
+    ``mean_components`` is the per-step average of (O_thr, O_lat,
+    O_loss) -- useful for utilization/latency reporting.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    conditioned = model.weight_dim > 0
+    obs, w_obs = env.reset(weights)
+    total = 0.0
+    comps = np.zeros(3)
+    steps = 0
+    done = False
+    while not done:
+        w_in = w_obs if conditioned else None
+        action, _, _ = model.act(obs, w_in, rng, deterministic=deterministic)
+        obs, w_obs, reward, components, done, _ = env.step(float(action[0]))
+        total += reward
+        comps += components.as_array()
+        steps += 1
+    return total, comps / max(steps, 1)
+
+
+def evaluate_policy(env: MoccEnv, model: PreferenceActorCritic, weights,
+                    rng: np.random.Generator, episodes: int = 1,
+                    deterministic: bool = True) -> float:
+    """Mean episodic reward of a policy on one objective."""
+    totals = [run_policy_episode(env, model, weights, rng, deterministic)[0]
+              for _ in range(episodes)]
+    return float(np.mean(totals))

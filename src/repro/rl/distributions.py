@@ -1,0 +1,106 @@
+"""Action distributions for the policy networks.
+
+MOCC's actor outputs the mean and standard deviation of a Gaussian over
+the continuous rate-adjustment action (Fig. 2b/3); MOCC-DQN (the Fig. 18
+ablation) uses a categorical distribution over discretised actions.
+
+Both classes are stateless: they take distribution parameters per call
+and return values plus the gradients PPO/DQN need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["DiagGaussian", "Categorical"]
+
+_LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+class DiagGaussian:
+    """Diagonal Gaussian over a continuous action vector.
+
+    Parameterised by a state-dependent ``mean`` and a ``log_std`` (either
+    state-dependent or a free parameter vector, as in stable-baselines
+    PPO which the paper builds on).
+    """
+
+    @staticmethod
+    def sample(mean: np.ndarray, log_std: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        std = np.exp(log_std)
+        return mean + std * rng.standard_normal(mean.shape)
+
+    @staticmethod
+    def log_prob(actions: np.ndarray, mean: np.ndarray, log_std: np.ndarray) -> np.ndarray:
+        """Per-sample log density, summed over action dimensions."""
+        actions = np.atleast_2d(actions)
+        mean = np.atleast_2d(mean)
+        var = np.exp(2.0 * log_std)
+        per_dim = -0.5 * ((actions - mean) ** 2 / var + 2.0 * log_std + _LOG_2PI)
+        return per_dim.sum(axis=-1)
+
+    @staticmethod
+    def log_prob_grads(actions: np.ndarray, mean: np.ndarray, log_std: np.ndarray):
+        """Gradients of log-prob w.r.t. ``mean`` and ``log_std``.
+
+        Returns ``(d_mean, d_log_std)`` with the same shapes as the
+        inputs; ``d_log_std`` is per-sample (not yet summed over the
+        batch) so callers can weight each sample before reducing.
+        """
+        actions = np.atleast_2d(actions)
+        mean = np.atleast_2d(mean)
+        var = np.exp(2.0 * log_std)
+        diff = actions - mean
+        d_mean = diff / var
+        d_log_std = diff ** 2 / var - 1.0
+        return d_mean, d_log_std
+
+    @staticmethod
+    def entropy(log_std: np.ndarray) -> float:
+        """Differential entropy, summed over action dimensions."""
+        return float(np.sum(log_std + 0.5 * (_LOG_2PI + 1.0)))
+
+    @staticmethod
+    def entropy_grad_log_std(log_std: np.ndarray) -> np.ndarray:
+        """d entropy / d log_std = 1 for every dimension."""
+        return np.ones_like(log_std)
+
+    @staticmethod
+    def kl(mean_a, log_std_a, mean_b, log_std_b) -> np.ndarray:
+        """Per-sample KL(a || b) between two diagonal Gaussians."""
+        mean_a = np.atleast_2d(mean_a)
+        mean_b = np.atleast_2d(mean_b)
+        var_a = np.exp(2.0 * log_std_a)
+        var_b = np.exp(2.0 * log_std_b)
+        per_dim = (log_std_b - log_std_a
+                   + (var_a + (mean_a - mean_b) ** 2) / (2.0 * var_b) - 0.5)
+        return per_dim.sum(axis=-1)
+
+
+class Categorical:
+    """Categorical distribution over discrete actions (MOCC-DQN)."""
+
+    @staticmethod
+    def softmax(logits: np.ndarray) -> np.ndarray:
+        logits = np.atleast_2d(logits)
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=-1, keepdims=True)
+
+    @staticmethod
+    def sample(logits: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        probs = Categorical.softmax(logits)
+        cumulative = probs.cumsum(axis=-1)
+        draws = rng.random(size=(probs.shape[0], 1))
+        return (draws < cumulative).argmax(axis=-1)
+
+    @staticmethod
+    def log_prob(actions: np.ndarray, logits: np.ndarray) -> np.ndarray:
+        probs = Categorical.softmax(logits)
+        idx = np.arange(probs.shape[0])
+        return np.log(probs[idx, np.asarray(actions, dtype=int)] + 1e-12)
+
+    @staticmethod
+    def entropy(logits: np.ndarray) -> np.ndarray:
+        probs = Categorical.softmax(logits)
+        return -(probs * np.log(probs + 1e-12)).sum(axis=-1)

@@ -1,0 +1,101 @@
+"""Gradient-descent optimizers.
+
+The paper uses Adam ("a famous adaptive learning rate optimization
+algorithm, which consistently outperforms standard SGD", §5) with a
+learning rate of 0.001 (Table 2).  SGD is provided for comparison and
+for the deep-dive tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.rl.nn import Parameter
+
+__all__ = ["Optimizer", "Adam", "SGD", "clip_grad_norm"]
+
+
+def clip_grad_norm(params: dict[str, Parameter], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm (useful for logging/tests).
+    """
+    total = 0.0
+    for param in params.values():
+        total += float(np.sum(param.grad ** 2))
+    norm = float(np.sqrt(total))
+    if max_norm > 0 and norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for param in params.values():
+            param.grad *= scale
+    return norm
+
+
+class Optimizer:
+    """Base optimizer over a named parameter dict."""
+
+    def __init__(self, params: dict[str, Parameter], lr: float):
+        self.params = params
+        self.lr = lr
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for param in self.params.values():
+            param.zero_grad()
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: dict[str, Parameter], lr: float, momentum: float = 0.0):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self._velocity = {name: np.zeros_like(p.value) for name, p in params.items()}
+
+    def step(self) -> None:
+        for name, param in self.params.items():
+            if self.momentum > 0:
+                vel = self._velocity[name]
+                vel *= self.momentum
+                vel -= self.lr * param.grad
+                param.value += vel
+            else:
+                param.value -= self.lr * param.grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2014) -- the paper's optimizer of choice."""
+
+    def __init__(self, params: dict[str, Parameter], lr: float = 1e-3,
+                 beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8):
+        super().__init__(params, lr)
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = {name: np.zeros_like(p.value) for name, p in params.items()}
+        self._v = {name: np.zeros_like(p.value) for name, p in params.items()}
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for name, param in self.params.items():
+            m = self._m[name]
+            v = self._v[name]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * param.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * param.grad ** 2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def reset_state(self) -> None:
+        """Forget moment estimates (used when transferring to a new task)."""
+        for name in self._m:
+            self._m[name].fill(0.0)
+            self._v[name].fill(0.0)
+        self._t = 0

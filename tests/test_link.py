@@ -1,0 +1,116 @@
+"""Tests for the bottleneck link model (repro.netsim.link)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim.link import Link
+from repro.netsim.traces import ConstantTrace
+
+
+def make_link(pps=100.0, delay=0.01, queue=50, loss=0.0, seed=0):
+    return Link(ConstantTrace(pps), delay=delay, queue_size=queue,
+                loss_rate=loss, rng=np.random.default_rng(seed))
+
+
+class TestTransmit:
+    def test_idle_link_delay(self):
+        link = make_link(pps=100.0, delay=0.01)
+        result = link.transmit(0.0)
+        assert result.delivered
+        # service (1/100) + propagation (0.01)
+        assert result.depart_time == pytest.approx(0.02)
+        assert result.queue_delay == 0.0
+
+    def test_queueing_builds(self):
+        link = make_link(pps=100.0, delay=0.0, queue=1000)
+        first = link.transmit(0.0)
+        second = link.transmit(0.0)
+        assert second.queue_delay == pytest.approx(0.01)
+        assert second.depart_time == pytest.approx(first.depart_time + 0.01)
+
+    def test_fifo_ordering(self):
+        link = make_link(pps=50.0, delay=0.005, queue=1000)
+        departs = [link.transmit(0.0).depart_time for _ in range(10)]
+        assert departs == sorted(departs)
+
+    def test_queue_drains_over_time(self):
+        link = make_link(pps=100.0, delay=0.0, queue=1000)
+        for _ in range(10):
+            link.transmit(0.0)
+        assert link.queue_delay_at(0.0) == pytest.approx(0.1)
+        assert link.queue_delay_at(0.05) == pytest.approx(0.05)
+        assert link.queue_delay_at(1.0) == 0.0
+
+    def test_buffer_overflow_drops(self):
+        link = make_link(pps=100.0, delay=0.0, queue=5)
+        outcomes = [link.transmit(0.0) for _ in range(10)]
+        dropped = [r for r in outcomes if not r.delivered]
+        assert dropped, "expected drops beyond the 5-packet buffer"
+        assert all(r.drop_kind == "buffer" for r in dropped)
+        assert link.dropped_buffer == len(dropped)
+
+    def test_zero_queue_drops_when_busy(self):
+        link = make_link(pps=100.0, delay=0.0, queue=0)
+        assert link.transmit(0.0).delivered
+        assert not link.transmit(0.0).delivered
+
+    def test_random_loss_statistics(self):
+        link = make_link(pps=1e9, delay=0.0, queue=10**6, loss=0.3, seed=1)
+        n = 5000
+        delivered = sum(link.transmit(i * 1e-6).delivered for i in range(n))
+        assert delivered / n == pytest.approx(0.7, abs=0.03)
+
+    def test_random_loss_keeps_timing(self):
+        """Random drops happen on the wire: depart time is still computed."""
+        link = make_link(pps=100.0, delay=0.01, queue=100, loss=0.999, seed=2)
+        result = link.transmit(0.0)
+        if not result.delivered:
+            assert result.drop_kind == "random"
+            assert result.depart_time > 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(queue=st.integers(1, 30), n=st.integers(1, 100))
+    def test_backlog_never_exceeds_buffer(self, queue, n):
+        link = make_link(pps=100.0, delay=0.0, queue=queue)
+        for _ in range(n):
+            link.transmit(0.0)
+            assert link.backlog_at(0.0) <= queue + 1 + 1e-6
+
+
+class TestAccounting:
+    def test_counters(self):
+        link = make_link(pps=100.0, delay=0.0, queue=2)
+        for _ in range(5):
+            link.transmit(0.0)
+        assert link.delivered + link.dropped_buffer == 5
+
+    def test_reset(self):
+        link = make_link(pps=100.0, delay=0.0, queue=2)
+        for _ in range(5):
+            link.transmit(0.0)
+        link.reset()
+        assert link.busy_until == 0.0
+        assert link.delivered == 0
+        assert link.dropped_buffer == 0
+
+
+class TestProperties:
+    def test_base_rtt(self):
+        assert make_link(delay=0.02).base_rtt == pytest.approx(0.04)
+
+    def test_bdp(self):
+        link = make_link(pps=100.0, delay=0.02)
+        assert link.bdp_packets() == pytest.approx(4.0)
+
+    def test_float_trace_promotion(self):
+        link = Link(250.0, delay=0.01, queue_size=10)
+        assert link.bandwidth_at(0.0) == 250.0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            make_link(delay=-1.0)
+        with pytest.raises(ValueError):
+            Link(ConstantTrace(1.0), 0.0, -1)
+        with pytest.raises(ValueError):
+            Link(ConstantTrace(1.0), 0.0, 1, loss_rate=1.0)

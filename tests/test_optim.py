@@ -1,0 +1,115 @@
+"""Tests for repro.rl.optim (Adam, SGD, gradient clipping)."""
+
+import numpy as np
+import pytest
+
+from repro.rl.nn import Parameter
+from repro.rl.optim import Adam, SGD, clip_grad_norm
+
+
+def _quadratic_params(start):
+    return {"x": Parameter(np.array(start, dtype=np.float64))}
+
+
+def _set_quadratic_grad(params, target):
+    # f(x) = 0.5*||x - target||^2  =>  grad = x - target
+    params["x"].grad[...] = params["x"].value - target
+
+
+class TestSGD:
+    def test_converges_on_quadratic(self):
+        params = _quadratic_params([5.0, -3.0])
+        target = np.array([1.0, 2.0])
+        opt = SGD(params, lr=0.1)
+        for _ in range(200):
+            _set_quadratic_grad(params, target)
+            opt.step()
+        np.testing.assert_allclose(params["x"].value, target, atol=1e-4)
+
+    def test_momentum_accelerates(self):
+        target = np.array([1.0])
+        plain = _quadratic_params([10.0])
+        heavy = _quadratic_params([10.0])
+        opt_p = SGD(plain, lr=0.01)
+        opt_m = SGD(heavy, lr=0.01, momentum=0.9)
+        for _ in range(50):
+            _set_quadratic_grad(plain, target)
+            opt_p.step()
+            _set_quadratic_grad(heavy, target)
+            opt_m.step()
+        assert abs(heavy["x"].value[0] - 1.0) < abs(plain["x"].value[0] - 1.0)
+
+    def test_zero_grad(self):
+        params = _quadratic_params([1.0])
+        params["x"].grad[...] = 3.0
+        SGD(params, lr=0.1).zero_grad()
+        assert params["x"].grad[0] == 0.0
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        params = _quadratic_params([5.0, -3.0])
+        target = np.array([1.0, 2.0])
+        opt = Adam(params, lr=0.1)
+        for _ in range(300):
+            _set_quadratic_grad(params, target)
+            opt.step()
+        np.testing.assert_allclose(params["x"].value, target, atol=1e-3)
+
+    def test_first_step_magnitude_is_lr(self):
+        """Adam's bias correction makes the first step ~lr in size."""
+        params = _quadratic_params([10.0])
+        opt = Adam(params, lr=0.05)
+        params["x"].grad[...] = 4.2  # any positive gradient
+        opt.step()
+        assert params["x"].value[0] == pytest.approx(10.0 - 0.05, abs=1e-6)
+
+    def test_scale_invariance_direction(self):
+        """Adam normalises per-coordinate scale: both coords move ~equally."""
+        params = {"x": Parameter(np.array([0.0, 0.0]))}
+        opt = Adam(params, lr=0.01)
+        for _ in range(10):
+            params["x"].grad[...] = np.array([1.0, 1000.0])
+            opt.step()
+        moved = -params["x"].value
+        assert moved[0] == pytest.approx(moved[1], rel=0.05)
+
+    def test_reset_state(self):
+        params = _quadratic_params([1.0])
+        opt = Adam(params, lr=0.1)
+        params["x"].grad[...] = 1.0
+        opt.step()
+        opt.reset_state()
+        assert opt._t == 0
+        assert np.all(opt._m["x"] == 0.0)
+        assert np.all(opt._v["x"] == 0.0)
+
+
+class TestClipGradNorm:
+    def test_no_clip_below_threshold(self):
+        params = _quadratic_params([0.0])
+        params["x"].grad[...] = 0.3
+        norm = clip_grad_norm(params, max_norm=1.0)
+        assert norm == pytest.approx(0.3)
+        assert params["x"].grad[0] == pytest.approx(0.3)
+
+    def test_clips_above_threshold(self):
+        params = {"a": Parameter(np.zeros(2)), "b": Parameter(np.zeros(2))}
+        params["a"].grad[...] = [3.0, 0.0]
+        params["b"].grad[...] = [0.0, 4.0]
+        norm = clip_grad_norm(params, max_norm=1.0)  # global norm = 5
+        assert norm == pytest.approx(5.0)
+        total = np.sqrt(sum(float(np.sum(p.grad ** 2)) for p in params.values()))
+        assert total == pytest.approx(1.0, rel=1e-6)
+
+    def test_zero_max_norm_disables(self):
+        params = _quadratic_params([0.0])
+        params["x"].grad[...] = 100.0
+        clip_grad_norm(params, max_norm=0.0)
+        assert params["x"].grad[0] == pytest.approx(100.0)
+
+    def test_preserves_direction(self):
+        params = {"a": Parameter(np.zeros(3))}
+        params["a"].grad[...] = [3.0, -4.0, 0.0]
+        clip_grad_norm(params, max_norm=1.0)
+        np.testing.assert_allclose(params["a"].grad, [0.6, -0.8, 0.0])

@@ -1,0 +1,157 @@
+"""Tests for the preference-conditioned actor-critic (repro.rl.policy)."""
+
+import numpy as np
+import pytest
+
+from repro.rl.nn import numerical_gradient
+from repro.rl.policy import PreferenceActorCritic
+
+
+def make_model(weight_dim=3, obs_dim=6, hidden=(8, 4), pref_hidden=5, seed=0):
+    return PreferenceActorCritic(obs_dim=obs_dim, weight_dim=weight_dim, act_dim=1,
+                                 hidden_sizes=hidden, pref_hidden=pref_hidden,
+                                 rng=np.random.default_rng(seed))
+
+
+class TestForward:
+    def test_shapes(self):
+        model = make_model()
+        mean, value = model.forward(np.zeros((4, 6)), np.full((4, 3), 1 / 3))
+        assert mean.shape == (4, 1)
+        assert value.shape == (4,)
+
+    def test_single_sample_promotion(self):
+        model = make_model()
+        mean, value = model.forward(np.zeros(6), np.full(3, 1 / 3))
+        assert mean.shape == (1, 1)
+
+    def test_weight_broadcast(self):
+        model = make_model()
+        m1, _ = model.forward(np.zeros((3, 6)), np.full((1, 3), 1 / 3))
+        m2, _ = model.forward(np.zeros((3, 6)), np.full((3, 3), 1 / 3))
+        np.testing.assert_allclose(m1, m2)
+
+    def test_missing_weights_raises(self):
+        model = make_model()
+        with pytest.raises(ValueError, match="weights"):
+            model.forward(np.zeros((1, 6)), None)
+
+    def test_weightless_model_ignores_preferences(self):
+        model = make_model(weight_dim=0)
+        mean, value = model.forward(np.zeros((2, 6)))
+        assert mean.shape == (2, 1)
+        assert model.pref_net is None
+
+    def test_different_weights_change_output(self):
+        """The preference sub-network must influence the policy input."""
+        model = make_model(seed=3)
+        obs = np.random.default_rng(0).normal(size=(1, 6))
+        m1, _ = model.forward(obs, np.array([[0.8, 0.1, 0.1]]))
+        m2, _ = model.forward(obs, np.array([[0.1, 0.8, 0.1]]))
+        assert not np.allclose(m1, m2)
+
+
+class TestBackward:
+    def test_actor_gradcheck(self):
+        model = make_model(hidden=(5,), pref_hidden=3, seed=1)
+        rng = np.random.default_rng(2)
+        obs = rng.normal(size=(4, 6))
+        w = np.abs(rng.normal(size=(4, 3))) + 0.1
+
+        def loss():
+            mean, value = model.forward(obs, w)
+            return 0.5 * float(np.sum(mean ** 2)) + 0.5 * float(np.sum(value ** 2))
+
+        mean, value = model.forward(obs, w)
+        model.zero_grad()
+        model.backward(mean, value)
+        analytic = {n: p.grad.copy() for n, p in model.parameters().items()}
+        numeric = numerical_gradient(loss, model.parameters())
+        for name in analytic:
+            if name == "log_std":
+                continue  # not part of this loss
+            np.testing.assert_allclose(analytic[name], numeric[name],
+                                       atol=1e-5, rtol=1e-3, err_msg=name)
+
+    def test_log_std_gradient_passthrough(self):
+        model = make_model()
+        model.forward(np.zeros((1, 6)), np.full((1, 3), 1 / 3))
+        model.zero_grad()
+        model.backward(np.zeros((1, 1)), np.zeros(1), d_log_std=np.array([0.7]))
+        assert model.log_std.grad[0] == pytest.approx(0.7)
+
+    def test_pref_net_receives_gradient(self):
+        model = make_model(seed=5)
+        rng = np.random.default_rng(6)
+        obs = rng.normal(size=(3, 6))
+        w = np.abs(rng.normal(size=(3, 3))) + 0.1
+        mean, value = model.forward(obs, w)
+        model.zero_grad()
+        model.backward(np.ones_like(mean), np.ones_like(value))
+        pref_grads = [p.grad for n, p in model.parameters().items()
+                      if n.startswith("pref.")]
+        assert any(np.any(g != 0) for g in pref_grads)
+
+
+class TestActing:
+    def test_deterministic_returns_mean(self):
+        model = make_model()
+        obs = np.ones(6)
+        w = np.full(3, 1 / 3)
+        action, log_prob, value = model.act(obs, w, np.random.default_rng(0),
+                                            deterministic=True)
+        mean, _ = model.forward(obs, w)
+        np.testing.assert_allclose(action, mean[0])
+
+    def test_stochastic_varies(self):
+        model = make_model()
+        rng = np.random.default_rng(0)
+        w = np.full(3, 1 / 3)
+        actions = {float(model.act(np.ones(6), w, rng)[0][0]) for _ in range(5)}
+        assert len(actions) > 1
+
+    def test_log_prob_is_finite(self):
+        model = make_model()
+        _, log_prob, _ = model.act(np.ones(6), np.full(3, 1 / 3),
+                                   np.random.default_rng(1))
+        assert np.isfinite(log_prob)
+
+    def test_value_matches_forward(self):
+        model = make_model()
+        w = np.full(3, 1 / 3)
+        _, _, value = model.act(np.ones(6), w, np.random.default_rng(0),
+                                deterministic=True)
+        assert value == pytest.approx(model.value(np.ones(6), w))
+
+
+class TestCloneAndState:
+    def test_clone_identical_outputs(self):
+        model = make_model(seed=9)
+        twin = model.clone()
+        obs = np.random.default_rng(1).normal(size=(2, 6))
+        w = np.full((2, 3), 1 / 3)
+        np.testing.assert_allclose(model.forward(obs, w)[0], twin.forward(obs, w)[0])
+
+    def test_clone_is_independent(self):
+        model = make_model()
+        twin = model.clone()
+        twin.log_std.value[...] = 99.0
+        assert model.log_std.value[0] != 99.0
+
+    def test_architecture_roundtrip(self):
+        model = make_model(hidden=(16, 8), pref_hidden=7)
+        arch = model.architecture()
+        rebuilt = PreferenceActorCritic(**arch)
+        rebuilt.load_state_dict(model.state_dict())
+        obs = np.ones((1, 6))
+        w = np.full((1, 3), 1 / 3)
+        np.testing.assert_allclose(model.forward(obs, w)[0],
+                                   rebuilt.forward(obs, w)[0])
+
+    def test_parameters_include_all_blocks(self):
+        model = make_model()
+        names = set(model.parameters())
+        assert "log_std" in names
+        assert any(n.startswith("pref.") for n in names)
+        assert any(n.startswith("actor.") for n in names)
+        assert any(n.startswith("critic.") for n in names)

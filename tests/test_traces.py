@@ -1,0 +1,133 @@
+"""Tests for bandwidth traces (repro.netsim.traces)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netsim.traces import (
+    ConstantTrace,
+    PiecewiseTrace,
+    RandomWalkTrace,
+    StepTrace,
+    mbps_to_pps,
+    pps_to_mbps,
+)
+
+
+class TestUnitConversion:
+    def test_mbps_to_pps_1500B(self):
+        # 12 Mbps at 1500 B (12000 bit) packets = 1000 pps.
+        assert mbps_to_pps(12.0) == pytest.approx(1000.0)
+
+    def test_roundtrip(self):
+        assert pps_to_mbps(mbps_to_pps(23.7)) == pytest.approx(23.7)
+
+    @given(st.floats(0.1, 1000.0))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_property(self, mbps):
+        assert pps_to_mbps(mbps_to_pps(mbps)) == pytest.approx(mbps, rel=1e-12)
+
+    def test_packet_size_scaling(self):
+        assert mbps_to_pps(12.0, packet_bytes=3000) == pytest.approx(500.0)
+
+
+class TestConstantTrace:
+    def test_value_everywhere(self):
+        t = ConstantTrace(100.0)
+        assert t.bandwidth_at(0.0) == 100.0
+        assert t.bandwidth_at(1e6) == 100.0
+        assert t.max_bandwidth() == 100.0
+        assert t.mean_bandwidth(0, 10) == 100.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ConstantTrace(0.0)
+
+    def test_from_mbps(self):
+        assert ConstantTrace.from_mbps(12.0).pps == pytest.approx(1000.0)
+
+
+class TestStepTrace:
+    def test_square_wave(self):
+        t = StepTrace(low_pps=20.0, high_pps=30.0, period=5.0)
+        assert t.bandwidth_at(0.0) == 30.0   # starts high
+        assert t.bandwidth_at(4.9) == 30.0
+        assert t.bandwidth_at(5.1) == 20.0
+        assert t.bandwidth_at(10.1) == 30.0
+
+    def test_start_low(self):
+        t = StepTrace(20.0, 30.0, 5.0, start_high=False)
+        assert t.bandwidth_at(0.0) == 20.0
+
+    def test_fig1a_settings(self):
+        """Fig. 1(a): link oscillates between 20 and 30 Mbps."""
+        t = StepTrace.from_mbps(20.0, 30.0, period=10.0)
+        values = {t.bandwidth_at(x) for x in np.arange(0, 50, 1.0)}
+        assert values == {mbps_to_pps(20.0), mbps_to_pps(30.0)}
+
+    def test_mean_over_full_cycle(self):
+        t = StepTrace(10.0, 30.0, 1.0)
+        mean = t.mean_bandwidth(0.0, 2.0, samples=2001)
+        assert mean == pytest.approx(20.0, rel=0.01)
+
+    def test_max(self):
+        assert StepTrace(10.0, 30.0, 1.0).max_bandwidth() == 30.0
+
+    def test_invalid_period(self):
+        with pytest.raises(ValueError):
+            StepTrace(10.0, 30.0, 0.0)
+
+
+class TestRandomWalkTrace:
+    def test_within_bounds(self):
+        t = RandomWalkTrace(50.0, 150.0, interval=0.5, horizon=100.0, seed=3)
+        for x in np.linspace(0, 100, 500):
+            assert 50.0 <= t.bandwidth_at(float(x)) <= 150.0
+
+    def test_deterministic_by_seed(self):
+        a = RandomWalkTrace(50.0, 150.0, seed=1)
+        b = RandomWalkTrace(50.0, 150.0, seed=1)
+        assert a.bandwidth_at(42.0) == b.bandwidth_at(42.0)
+
+    def test_different_seeds_differ(self):
+        a = RandomWalkTrace(50.0, 150.0, seed=1)
+        b = RandomWalkTrace(50.0, 150.0, seed=2)
+        samples = [(a.bandwidth_at(t), b.bandwidth_at(t)) for t in range(100)]
+        assert any(x != y for x, y in samples)
+
+    def test_actually_varies(self):
+        t = RandomWalkTrace(50.0, 150.0, interval=1.0, step=0.3, seed=0)
+        values = {t.bandwidth_at(float(x)) for x in range(50)}
+        assert len(values) > 5
+
+    def test_beyond_horizon_clamps(self):
+        t = RandomWalkTrace(50.0, 150.0, horizon=10.0, seed=0)
+        assert t.bandwidth_at(1e9) == t.bandwidth_at(10.0)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            RandomWalkTrace(100.0, 50.0)
+
+
+class TestPiecewiseTrace:
+    def test_step_interpolation(self):
+        t = PiecewiseTrace([(0.0, 10.0), (5.0, 20.0), (8.0, 5.0)])
+        assert t.bandwidth_at(0.0) == 10.0
+        assert t.bandwidth_at(4.99) == 10.0
+        assert t.bandwidth_at(5.0) == 20.0
+        assert t.bandwidth_at(100.0) == 5.0
+
+    def test_before_first_breakpoint(self):
+        t = PiecewiseTrace([(1.0, 10.0)])
+        assert t.bandwidth_at(0.0) == 10.0
+
+    def test_unsorted_raises(self):
+        with pytest.raises(ValueError):
+            PiecewiseTrace([(5.0, 1.0), (0.0, 2.0)])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            PiecewiseTrace([])
+
+    def test_max(self):
+        assert PiecewiseTrace([(0, 3.0), (1, 7.0)]).max_bandwidth() == 7.0
