@@ -9,67 +9,80 @@
   more aggressive; no variant starves the other.
 * Fig. 14: throughput ratios of weight variants across RTTs stay within
   a moderate band (paper: 0.43-2.04).
+
+Every experiment is a :class:`~repro.eval.scenarios.ScenarioSuite`
+executed through the shared parallel runner, so independent
+competitions shard across cores and re-runs hit the result cache.
 """
 
 import numpy as np
 from conftest import print_table, run_once
 
-from repro.baselines import Cubic, Vegas
-from repro.core.agent import MoccController
 from repro.core.weights import (
     BALANCE_WEIGHTS,
     LATENCY_WEIGHTS,
     THROUGHPUT_WEIGHTS,
 )
 from repro.eval.metrics import jain_index_series
-from repro.eval.runner import EvalNetwork, run_competition
+from repro.eval.scenarios import FlowDef, ScenarioSuite
 
-FAIR_NET = EvalNetwork(bandwidth_mbps=12.0, one_way_ms=20.0, buffer_bdp=1.0)
-PAIR_NET = EvalNetwork(bandwidth_mbps=20.0, one_way_ms=20.0, buffer_bdp=1.0)
-
-
-def _mocc(agent, weights, seed):
-    return MoccController(agent, weights, initial_rate=FAIR_NET.bottleneck_pps / 4,
-                          seed=seed)
+FAIR_BW, PAIR_BW = 12.0, 20.0
+VARIANTS = {"MOCC-Throughput": THROUGHPUT_WEIGHTS,
+            "MOCC-Balance": BALANCE_WEIGHTS,
+            "MOCC-Latency": LATENCY_WEIGHTS}
 
 
-def bench_fig11_fairness_dynamics(benchmark, mocc_agent):
+def _mocc(agent, weights, seed, start=0.0, label=""):
+    """One MOCC flow starting at a quarter of the bottleneck rate.
+
+    ``rate_frac`` sizes the initial rate from the scenario's *own*
+    network; the pre-suite code sized every figure's flows from the
+    12 Mbps fairness network, so fig13's pairs on the 20 Mbps network
+    now start at 0.25x its bottleneck instead of 0.15x.
+    """
+    return FlowDef("mocc", weights=tuple(np.asarray(weights)), agent=agent,
+                   seed=seed, start=start, rate_frac=0.25, label=label)
+
+
+def bench_fig11_fairness_dynamics(benchmark, runner, mocc_agent):
     """Fig. 11: staggered same-weight MOCC flows share the bottleneck."""
+    suite = ScenarioSuite(
+        name="fig11",
+        lineups={"3xBalance": tuple(
+            _mocc(mocc_agent, BALANCE_WEIGHTS, seed=i, start=15.0 * i)
+            for i in range(3))},
+        bandwidths_mbps=(FAIR_BW,), rtts_ms=(40.0,), duration=60.0, seeds=(6,))
 
-    def experiment():
-        controllers = [_mocc(mocc_agent, BALANCE_WEIGHTS, seed=i) for i in range(3)]
-        records = run_competition(controllers, FAIR_NET, duration=60.0,
-                                  start_times=[0.0, 15.0, 30.0], seed=6)
-        return records
-
-    records = run_once(benchmark, experiment)
+    records = run_once(benchmark, lambda: runner.run(suite).results[0].records)
     # Mean throughput of each flow during the all-three-active epoch.
     shares = []
     for record in records:
         acked = sum(s.acked for s in record.records if 30.0 <= s.start < 60.0)
         shares.append(acked / 30.0)
     total = sum(shares)
+    bottleneck = suite.expand()[0].network.bottleneck_pps
     print_table("Fig 11: per-flow share while 3 MOCC flows compete (30-60s)",
                 ["flow", "throughput pps", "share"],
                 [[i, s, s / total] for i, s in enumerate(shares)])
     # No starvation: every flow holds a meaningful share.
     assert min(shares) / total > 0.10
-    assert total > 0.5 * FAIR_NET.bottleneck_pps
+    assert total > 0.5 * bottleneck
 
 
-def bench_fig12_jain_cdf(benchmark, mocc_agent):
+def bench_fig12_jain_cdf(benchmark, runner, mocc_agent):
     """Fig. 12: Jain-index distribution for MOCC weight variants."""
+    suite = ScenarioSuite(
+        name="fig12",
+        lineups={name: tuple(
+            _mocc(mocc_agent, weights, seed=i, start=10.0 * i)
+            for i in range(3)) for name, weights in VARIANTS.items()},
+        bandwidths_mbps=(FAIR_BW,), rtts_ms=(40.0,), duration=45.0, seeds=(7,))
 
     def experiment():
-        out = {}
-        for name, weights in [("MOCC-Throughput", THROUGHPUT_WEIGHTS),
-                              ("MOCC-Balance", BALANCE_WEIGHTS),
-                              ("MOCC-Latency", LATENCY_WEIGHTS)]:
-            controllers = [_mocc(mocc_agent, weights, seed=i) for i in range(3)]
-            records = run_competition(controllers, FAIR_NET, duration=45.0,
-                                      start_times=[0.0, 10.0, 20.0], seed=7)
-            out[name] = jain_index_series(records, interval=1.0)
-        return out
+        outcome = runner.run(suite)
+        return {result.scenario.lineup:
+                jain_index_series(result.records, interval=1.0)
+                for result in outcome}
 
     series = run_once(benchmark, experiment)
     rows = [[name, float(np.median(s)), float(np.percentile(s, 25)),
@@ -81,28 +94,29 @@ def bench_fig12_jain_cdf(benchmark, mocc_agent):
         assert np.median(s) > 0.6, name
 
 
-def bench_fig13_weight_competition(benchmark, mocc_agent):
+def bench_fig13_weight_competition(benchmark, runner, mocc_agent):
     """Fig. 13: pairwise competition of MOCC variants (+ CUBIC/Vegas)."""
+    pairs = {
+        "Thr vs Bal": (THROUGHPUT_WEIGHTS, BALANCE_WEIGHTS),
+        "Thr vs Lat": (THROUGHPUT_WEIGHTS, LATENCY_WEIGHTS),
+        "Lat vs Bal": (LATENCY_WEIGHTS, BALANCE_WEIGHTS),
+    }
+    lineups = {name: (_mocc(mocc_agent, w1, seed=1), _mocc(mocc_agent, w2, seed=2))
+               for name, (w1, w2) in pairs.items()}
+    lineups["CUBIC vs Vegas"] = (FlowDef("cubic"), FlowDef("vegas"))
+    suite = ScenarioSuite(name="fig13", lineups=lineups,
+                          bandwidths_mbps=(PAIR_BW,), rtts_ms=(40.0,),
+                          duration=30.0, seeds=(8,))
 
     def experiment():
-        pairs = [
-            ("Thr vs Bal", THROUGHPUT_WEIGHTS, BALANCE_WEIGHTS),
-            ("Thr vs Lat", THROUGHPUT_WEIGHTS, LATENCY_WEIGHTS),
-            ("Lat vs Bal", LATENCY_WEIGHTS, BALANCE_WEIGHTS),
-        ]
-        out = {}
-        for name, w1, w2 in pairs:
-            records = run_competition(
-                [_mocc(mocc_agent, w1, seed=1), _mocc(mocc_agent, w2, seed=2)],
-                PAIR_NET, duration=30.0, seed=8)
-            out[name] = (records[0].mean_throughput_pps, records[1].mean_throughput_pps)
-        records = run_competition([Cubic(), Vegas()], PAIR_NET, duration=30.0, seed=8)
-        out["CUBIC vs Vegas"] = (records[0].mean_throughput_pps,
-                                 records[1].mean_throughput_pps)
-        return out
+        outcome = runner.run(suite)
+        return {result.scenario.lineup:
+                (result.records[0].mean_throughput_pps,
+                 result.records[1].mean_throughput_pps)
+                for result in outcome}
 
     results = run_once(benchmark, experiment)
-    total = PAIR_NET.bottleneck_pps
+    total = suite.expand()[0].network.bottleneck_pps
     rows = [[name, a, b, a / max(b, 1e-9)] for name, (a, b) in results.items()]
     print_table("Fig 13: pairwise competition (flow1 pps, flow2 pps, ratio)",
                 ["pair", "flow1", "flow2", "ratio"], rows)
@@ -115,25 +129,24 @@ def bench_fig13_weight_competition(benchmark, mocc_agent):
             assert min(a, b) / total > 0.05, name
 
 
-def bench_fig14_friendliness_weights(benchmark, mocc_agent):
+def bench_fig14_friendliness_weights(benchmark, runner, mocc_agent):
     """Fig. 14: variant-vs-balance throughput ratios across RTTs."""
+    suite = ScenarioSuite(
+        name="fig14",
+        lineups={name: (_mocc(mocc_agent, w, seed=1),
+                        _mocc(mocc_agent, BALANCE_WEIGHTS, seed=2))
+                 for name, w in [("w1 <.8,.1,.1>", THROUGHPUT_WEIGHTS),
+                                 ("w5 <.1,.8,.1>", LATENCY_WEIGHTS)]},
+        bandwidths_mbps=(PAIR_BW,), rtts_ms=(20.0, 40.0, 80.0),
+        duration=25.0, seeds=(9,))
 
     def experiment():
         out = {}
-        for rtt_ms in (20.0, 40.0, 80.0):
-            net = EvalNetwork(bandwidth_mbps=20.0, one_way_ms=rtt_ms / 2,
-                              buffer_bdp=1.0)
-            for name, w in [("w1 <.8,.1,.1>", THROUGHPUT_WEIGHTS),
-                            ("w5 <.1,.8,.1>", LATENCY_WEIGHTS)]:
-                records = run_competition(
-                    [MoccController(mocc_agent, w,
-                                    initial_rate=net.bottleneck_pps / 4, seed=1),
-                     MoccController(mocc_agent, BALANCE_WEIGHTS,
-                                    initial_rate=net.bottleneck_pps / 4, seed=2)],
-                    net, duration=25.0, seed=9)
-                ratio = (records[0].mean_throughput_pps
-                         / max(records[1].mean_throughput_pps, 1e-9))
-                out[(name, rtt_ms)] = ratio
+        for result in runner.run(suite):
+            rtt = 2.0 * result.scenario.network.one_way_ms
+            ratio = (result.records[0].mean_throughput_pps
+                     / max(result.records[1].mean_throughput_pps, 1e-9))
+            out[(result.scenario.lineup, rtt)] = ratio
         return out
 
     ratios = run_once(benchmark, experiment)

@@ -5,44 +5,51 @@ friendliness ratio is the scheme's delivery rate over CUBIC's.  The
 paper finds MOCC-Throughput more aggressive, MOCC-Balance/-Latency
 friendlier, and MOCC overall comparable to other schemes (ratios
 roughly within 0.1-5).
+
+The contender x RTT matrix is one
+:class:`~repro.eval.scenarios.ScenarioSuite` run through the shared
+parallel runner (15 independent head-to-head competitions).
 """
 
 import numpy as np
 from conftest import print_table, run_once
 
-from repro.baselines import BBR, Cubic, Vegas
-from repro.core.agent import MoccController
 from repro.core.weights import (
     BALANCE_WEIGHTS,
     LATENCY_WEIGHTS,
     THROUGHPUT_WEIGHTS,
 )
 from repro.eval.metrics import friendliness_ratio
-from repro.eval.runner import EvalNetwork, run_competition
+from repro.eval.scenarios import FlowDef, ScenarioSuite
 
 RTTS_MS = (20.0, 60.0, 120.0)
 
 
-def bench_fig15_friendliness(benchmark, mocc_agent):
+def bench_fig15_friendliness(benchmark, runner, mocc_agent):
+    def contender(name, weights=None, seed=0):
+        if weights is not None:
+            probe = FlowDef("mocc", weights=tuple(np.asarray(weights)),
+                            agent=mocc_agent, seed=seed, rate_frac=0.25,
+                            label=name)
+        else:
+            probe = FlowDef(name.lower(), rate_frac=0.25, label=name)
+        return name, (probe, FlowDef("cubic"))
+
+    suite = ScenarioSuite(
+        name="fig15",
+        lineups=dict([contender("MOCC-Throughput", THROUGHPUT_WEIGHTS, seed=1),
+                      contender("MOCC-Balance", BALANCE_WEIGHTS, seed=2),
+                      contender("MOCC-Latency", LATENCY_WEIGHTS, seed=3),
+                      contender("BBR"),
+                      contender("Vegas")]),
+        bandwidths_mbps=(20.0,), rtts_ms=RTTS_MS, duration=25.0, seeds=(10,))
+
     def experiment():
         out = {}
-        for rtt in RTTS_MS:
-            net = EvalNetwork(bandwidth_mbps=20.0, one_way_ms=rtt / 2, buffer_bdp=1.0)
-            start = net.bottleneck_pps / 4
-            contenders = {
-                "MOCC-Throughput": lambda s=1: MoccController(
-                    mocc_agent, THROUGHPUT_WEIGHTS, initial_rate=start, seed=s),
-                "MOCC-Balance": lambda s=2: MoccController(
-                    mocc_agent, BALANCE_WEIGHTS, initial_rate=start, seed=s),
-                "MOCC-Latency": lambda s=3: MoccController(
-                    mocc_agent, LATENCY_WEIGHTS, initial_rate=start, seed=s),
-                "BBR": lambda: BBR(initial_rate=start),
-                "Vegas": Vegas,
-            }
-            for name, factory in contenders.items():
-                records = run_competition([factory(), Cubic()], net,
-                                          duration=25.0, seed=10)
-                out[(name, rtt)] = friendliness_ratio(records[0], records[1])
+        for result in runner.run(suite):
+            rtt = 2.0 * result.scenario.network.one_way_ms
+            out[(result.scenario.lineup, rtt)] = friendliness_ratio(
+                result.records[0], result.records[1])
         return out
 
     ratios = run_once(benchmark, experiment)

@@ -5,38 +5,44 @@ Panels (a)-(d): bottleneck utilization for the throughput objective
 loss, and buffer size.  Panels (e)-(h): latency ratio for the latency
 objective (w = <0.1, 0.8, 0.1>) over the same sweeps.  Evaluation
 ranges deliberately exceed the training ranges (Table 3).
+
+Each sweep is a :class:`~repro.eval.scenarios.ScenarioSuite` (via
+:func:`sweep_schemes`) executed through the shared parallel runner, so
+the 4 x 7-scheme x 4-value grid shards across cores and re-runs come
+from the result cache.
 """
 
 import numpy as np
 from conftest import print_table, run_once
 
 from repro.core.weights import LATENCY_WEIGHTS, THROUGHPUT_WEIGHTS
-from repro.eval.runner import EvalNetwork
-from repro.eval.sweeps import sweep_schemes
+from repro.eval.sweeps import (
+    FIG5_BENCH_BASE,
+    FIG5_BENCH_DURATION,
+    FIG5_BENCH_SCHEMES,
+    FIG5_BENCH_SEED,
+    FIG5_BENCH_SWEEPS,
+    sweep_schemes,
+)
 
-SCHEMES = ("mocc", "cubic", "vegas", "bbr", "copa", "vivace", "aurora-throughput")
-SWEEPS = [
-    ("bandwidth", (10.0, 20.0, 35.0, 50.0)),
-    ("latency", (10.0, 70.0, 130.0, 200.0)),
-    ("loss", (0.0, 0.02, 0.05, 0.10)),
-    ("buffer", (500, 1500, 3000, 5000)),
-]
-BASE = EvalNetwork(bandwidth_mbps=20.0, one_way_ms=20.0, buffer_bdp=1.0)
+SCHEMES = FIG5_BENCH_SCHEMES
 
 
-def _run_sweeps(mocc_agent, aurora_agent, weights):
+def _run_sweeps(runner, mocc_agent, aurora_agent, weights):
     kwargs = {"mocc_agent": mocc_agent, "mocc_weights": weights,
               "aurora_agent": aurora_agent}
-    return {param: sweep_schemes(SCHEMES, param, values, base=BASE, duration=12.0,
-                                 seed=2, controller_kwargs=kwargs)
-            for param, values in SWEEPS}
+    return {param: sweep_schemes(SCHEMES, param, values, base=FIG5_BENCH_BASE,
+                                 duration=FIG5_BENCH_DURATION,
+                                 seed=FIG5_BENCH_SEED, controller_kwargs=kwargs,
+                                 runner=runner)
+            for param, values in FIG5_BENCH_SWEEPS}
 
 
-def bench_fig5ad_utilization(benchmark, mocc_agent, aurora_throughput):
+def bench_fig5ad_utilization(benchmark, runner, mocc_agent, aurora_throughput):
     """Fig. 5(a-d): utilization sweeps, throughput objective."""
 
     def experiment():
-        return _run_sweeps(mocc_agent, aurora_throughput, THROUGHPUT_WEIGHTS)
+        return _run_sweeps(runner, mocc_agent, aurora_throughput, THROUGHPUT_WEIGHTS)
 
     results = run_once(benchmark, experiment)
     for param, sweep in results.items():
@@ -56,11 +62,11 @@ def bench_fig5ad_utilization(benchmark, mocc_agent, aurora_throughput):
     assert loss.row("mocc")["utilization"][-1] > 3 * loss.row("cubic")["utilization"][-1]
 
 
-def bench_fig5eh_latency(benchmark, mocc_agent, aurora_throughput):
+def bench_fig5eh_latency(benchmark, runner, mocc_agent, aurora_throughput):
     """Fig. 5(e-h): latency-ratio sweeps, latency objective."""
 
     def experiment():
-        return _run_sweeps(mocc_agent, aurora_throughput, LATENCY_WEIGHTS)
+        return _run_sweeps(runner, mocc_agent, aurora_throughput, LATENCY_WEIGHTS)
 
     results = run_once(benchmark, experiment)
     for param, sweep in results.items():

@@ -13,7 +13,7 @@ import numpy as np
 from conftest import print_table, run_once
 
 from repro.config import BOOTSTRAP_OBJECTIVES, DEFAULT_TRAINING, TRAINING_RANGES
-from repro.core.online import OnlineAdapter
+from repro.core.online import AdaptationTrace, OnlineAdapter
 from repro.core.offline import train_single_objective
 from repro.core.weights import THROUGHPUT_WEIGHTS
 from repro.rl.collect import evaluate_policy
@@ -37,8 +37,9 @@ def bench_fig7a_quick_adaptation(benchmark, mocc_agent):
     mocc_trace, scratch_trace = run_once(benchmark, experiment)
     mocc_conv = mocc_trace.convergence_iteration(smooth=3)
     scratch = np.asarray(scratch_trace)
-    smooth = np.convolve(scratch, np.ones(3) / 3, mode="valid")
-    scratch_conv = int(np.argmax(smooth >= 0.99 * smooth.max())) + 1
+    # Same definition (and window re-centering) as the MOCC trace.
+    scratch_conv = AdaptationTrace(
+        rewards=list(scratch)).convergence_iteration(smooth=3)
 
     print_table(
         "Fig 7a: adapting to an unseen objective",

@@ -11,9 +11,12 @@ Trained models come from the seeded zoo cache; the first run trains
 them (a few minutes total), later runs load from disk.
 """
 
+import os
+
 import numpy as np
 import pytest
 
+from repro.eval.parallel import ParallelRunner
 from repro.models import default_zoo
 
 
@@ -24,6 +27,19 @@ def pytest_configure(config):
 @pytest.fixture(scope="session")
 def zoo():
     return default_zoo()
+
+
+@pytest.fixture(scope="session")
+def runner():
+    """Shared scenario runner: sharded across cores, results memoized.
+
+    ``REPRO_EVAL_WORKERS`` pins the worker count (0 = auto: one per
+    core, capped at 8); ``REPRO_RESULT_CACHE`` relocates the on-disk
+    result cache.  A benchmark re-run with an unchanged suite is
+    served from the cache.
+    """
+    workers = int(os.environ.get("REPRO_EVAL_WORKERS", "0")) or None
+    return ParallelRunner(n_workers=workers)
 
 
 @pytest.fixture(scope="session")

@@ -1,12 +1,32 @@
-"""Pre-train and cache every model the test/benchmark suite needs."""
+"""Pre-train and cache every model the test/benchmark suite needs,
+then pre-warm the scenario-result cache for the heavyweight suites.
+
+Scenario results are memoized by content fingerprint
+(:meth:`repro.eval.scenarios.Scenario.fingerprint`), so warming the
+exact grids the benchmarks declare means a later benchmark run is
+served from the cache instead of re-simulating.
+"""
 import time
 
+from repro.core.weights import (
+    LATENCY_WEIGHTS,
+    RTC_WEIGHTS,
+    THROUGHPUT_WEIGHTS,
+    project_to_simplex,
+)
+from repro.eval.parallel import ParallelRunner
+from repro.eval.sweeps import (
+    FIG5_BENCH_BASE,
+    FIG5_BENCH_DURATION,
+    FIG5_BENCH_SCHEMES,
+    FIG5_BENCH_SEED,
+    FIG5_BENCH_SWEEPS,
+    sweep_schemes,
+)
 from repro.models import default_zoo
-from repro.core.weights import RTC_WEIGHTS, project_to_simplex
 
 
-def main():
-    zoo = default_zoo()
+def prewarm_models(zoo):
     jobs = [
         ("mocc fast", lambda: zoo.mocc_offline(quality="fast")),
         ("aurora thr fast", lambda: zoo.aurora("throughput", quality="fast")),
@@ -23,6 +43,31 @@ def main():
         t0 = time.time()
         job()
         print(f"[prewarm] {name}: {time.time() - t0:.1f}s", flush=True)
+
+
+def prewarm_scenarios(zoo):
+    """Run the Fig. 5 sweep suites through the parallel runner."""
+    runner = ParallelRunner()
+    kwargs = {"mocc_agent": zoo.mocc_offline(quality="full"),
+              "aurora_agent": zoo.aurora("throughput", quality="full")}
+    for objective, weights in [("throughput", THROUGHPUT_WEIGHTS),
+                               ("latency", LATENCY_WEIGHTS)]:
+        for param, values in FIG5_BENCH_SWEEPS:
+            t0 = time.time()
+            sweep_schemes(FIG5_BENCH_SCHEMES, param, values,
+                          base=FIG5_BENCH_BASE, duration=FIG5_BENCH_DURATION,
+                          seed=FIG5_BENCH_SEED,
+                          controller_kwargs={**kwargs, "mocc_weights": weights},
+                          runner=runner)
+            print(f"[prewarm] fig5 {objective}/{param} "
+                  f"({len(FIG5_BENCH_SCHEMES) * len(values)} scenarios): "
+                  f"{time.time() - t0:.1f}s", flush=True)
+
+
+def main():
+    zoo = default_zoo()
+    prewarm_models(zoo)
+    prewarm_scenarios(zoo)
 
 
 if __name__ == "__main__":

@@ -79,16 +79,26 @@ class AdaptationTrace:
 
         This is the paper's §6.2 definition ("99 % of the maximum
         reward gain").  Returns the 1-based iteration index.
+
+        ``np.convolve(..., mode="valid")`` index ``j`` averages original
+        iterations ``j .. j+smooth-1``, so the crossing is re-centered
+        onto the *last* iteration of its window -- the earliest point at
+        which the smoothed gain has actually been observed.  Without the
+        re-centering, convergence time is under-reported by
+        ``smooth - 1`` iterations.
         """
         r = np.asarray(self.rewards, dtype=np.float64)
         if len(r) == 0:
             raise ValueError("empty trace")
+        offset = 0
         if smooth > 1:
+            smooth = min(smooth, len(r))
             kernel = np.ones(smooth) / smooth
             r = np.convolve(r, kernel, mode="valid")
+            offset = smooth - 1
         threshold = frac * r.max()
         crossing = int(np.argmax(r >= threshold))
-        return crossing + 1
+        return crossing + offset + 1
 
     def initial_reward(self) -> float:
         return self.rewards[0] if self.rewards else float("nan")

@@ -6,6 +6,8 @@ Every table/figure in the paper's §6 is regenerated from these pieces:
   :class:`FlowRecord` aggregates; run competing flows on shared links.
 * :mod:`repro.eval.metrics` -- link utilization, latency ratio, Jain's
   fairness index, friendliness ratio, reward statistics.
+* :mod:`repro.eval.scenarios` -- declarative scenarios and suite grids.
+* :mod:`repro.eval.parallel` -- sharded suite execution + result cache.
 * :mod:`repro.eval.sweeps` -- the Fig. 5 parameter sweeps.
 * :mod:`repro.eval.gaussian` -- 1-sigma ellipses for Fig. 1(b).
 * :mod:`repro.eval.cdf` -- empirical CDFs (Figs. 6, 12, 16, 18).
@@ -17,6 +19,20 @@ from repro.eval.runner import (
     run_competition,
     run_scheme,
     scheme_factory,
+)
+from repro.eval.scenarios import (
+    AgentRef,
+    FlowDef,
+    Scenario,
+    ScenarioSuite,
+    run_scenario,
+)
+from repro.eval.parallel import (
+    ParallelRunner,
+    ResultCache,
+    ResultTable,
+    ScenarioResult,
+    SuiteResult,
 )
 from repro.eval.metrics import (
     friendliness_ratio,
@@ -41,4 +57,14 @@ __all__ = [
     "empirical_cdf",
     "SweepResult",
     "sweep_schemes",
+    "AgentRef",
+    "FlowDef",
+    "Scenario",
+    "ScenarioSuite",
+    "run_scenario",
+    "ParallelRunner",
+    "ResultCache",
+    "ResultTable",
+    "ScenarioResult",
+    "SuiteResult",
 ]

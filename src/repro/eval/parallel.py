@@ -1,0 +1,322 @@
+"""Sharded scenario execution with an incremental on-disk result cache.
+
+Scenario sweeps are embarrassingly parallel (Pantheon-style: every
+cell of the condition x scheme matrix is an independent simulation), so
+:class:`ParallelRunner` shards the expanded scenarios of a
+:class:`~repro.eval.scenarios.ScenarioSuite` across OS processes,
+mirroring the picklable-spec idiom of :class:`repro.rl.parallel.EnvSpec`.
+
+Completed scenarios are memoized on disk keyed by
+:meth:`Scenario.fingerprint`, so re-runs only pay for the cells that
+changed; a second run of an unchanged suite is pure cache reads.
+Results aggregate into a tidy :class:`ResultTable` (one row per flow
+per scenario) plus the raw per-MI :class:`FlowRecord` streams for the
+fairness/CDF analyses.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing as mp
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.eval.scenarios import (
+    SCENARIO_CACHE_VERSION,
+    AgentRef,
+    Scenario,
+    ScenarioSuite,
+    run_scenario,
+)
+from repro.netsim.network import FlowRecord
+from repro.netsim.sender import MonitorIntervalStats
+
+__all__ = ["ParallelRunner", "ResultCache", "ResultTable", "ScenarioResult",
+           "SuiteResult"]
+
+#: Per-monitor-interval fields persisted in the result cache.
+_MI_FIELDS = ("flow_id", "start", "end", "sent", "acked", "lost", "mean_rtt",
+              "min_rtt", "latency_gradient", "capacity_pps", "base_rtt",
+              "packet_bytes", "rate_pps")
+_RECORD_FIELDS = ("flow_id", "scheme", "mean_throughput_pps",
+                  "mean_throughput_mbps", "mean_utilization", "mean_rtt",
+                  "base_rtt", "loss_rate")
+
+
+def _record_to_json(record: FlowRecord) -> dict:
+    payload = {name: getattr(record, name) for name in _RECORD_FIELDS}
+    payload["records"] = [[getattr(s, name) for name in _MI_FIELDS]
+                          for s in record.records]
+    return payload
+
+
+def _record_from_json(payload: dict) -> FlowRecord:
+    stats = [MonitorIntervalStats(**dict(zip(_MI_FIELDS, row)))
+             for row in payload["records"]]
+    fields = {name: payload[name] for name in _RECORD_FIELDS}
+    return FlowRecord(records=stats, **fields)
+
+
+class ResultCache:
+    """Fingerprint-keyed store of finished scenario results (JSON files).
+
+    The default location is ``repro/eval/_cache`` next to the model
+    cache; set ``REPRO_RESULT_CACHE`` to relocate it (CI points it at a
+    workspace-local directory).
+    """
+
+    def __init__(self, cache_dir: str | Path | None = None):
+        if cache_dir is None:
+            cache_dir = os.environ.get("REPRO_RESULT_CACHE") or (
+                Path(__file__).resolve().parent / "_cache")
+        self.cache_dir = Path(cache_dir)
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.cache_dir / f"{fingerprint}.json"
+
+    def get(self, fingerprint: str) -> list[FlowRecord] | None:
+        path = self._path(fingerprint)
+        if not path.exists():
+            return None
+        # Any unreadable/stale/truncated entry is just a cache miss.
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("version") != SCENARIO_CACHE_VERSION:
+                return None
+            return [_record_from_json(r) for r in payload["records"]]
+        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            return None
+
+    def put(self, fingerprint: str, name: str, records: list[FlowRecord]) -> None:
+        payload = {"version": SCENARIO_CACHE_VERSION, "name": name,
+                   "records": [_record_to_json(r) for r in records]}
+        path = self._path(fingerprint)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload))
+        tmp.replace(path)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self._path(fingerprint).exists()
+
+    def clear(self) -> int:
+        """Delete all entries; returns how many were removed."""
+        removed = 0
+        for path in self.cache_dir.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed
+
+
+@dataclass
+class ScenarioResult:
+    """One executed (or cache-served) scenario."""
+
+    scenario: Scenario
+    records: list[FlowRecord]
+    cached: bool = False
+    elapsed: float = 0.0
+
+    def rows(self) -> list[dict]:
+        net = self.scenario.network
+        rows = []
+        for i, (flow, record) in enumerate(zip(self.scenario.flows, self.records)):
+            rows.append({
+                "suite": self.scenario.suite,
+                "scenario": self.scenario.name,
+                "lineup": self.scenario.lineup,
+                "flow": i,
+                "label": flow.display_label(),
+                "scheme": flow.scheme,
+                "bandwidth_mbps": net.bandwidth_mbps,
+                "rtt_ms": 2.0 * net.one_way_ms,
+                "loss": net.loss_rate,
+                "buffer": (net.queue_packets if net.queue_packets is not None
+                           else net.buffer_bdp),
+                "trace": self.scenario.trace,
+                "seed": self.scenario.seed,
+                "duration": self.scenario.duration,
+                "throughput_pps": record.mean_throughput_pps,
+                "throughput_mbps": record.mean_throughput_mbps,
+                "utilization": record.mean_utilization,
+                "latency_ratio": record.latency_ratio,
+                "loss_rate": record.loss_rate,
+                "cached": self.cached,
+            })
+        return rows
+
+
+class ResultTable:
+    """Tidy results: one row (a plain dict) per flow per scenario."""
+
+    def __init__(self, rows: list[dict]):
+        self.rows = list(rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def filter(self, **equals) -> "ResultTable":
+        """Rows matching all ``column=value`` constraints."""
+        return ResultTable([r for r in self.rows
+                            if all(r.get(k) == v for k, v in equals.items())])
+
+    def values(self, column: str) -> np.ndarray:
+        return np.asarray([r[column] for r in self.rows])
+
+    def mean(self, column: str, **equals) -> float:
+        table = self.filter(**equals) if equals else self
+        return float(np.mean(table.values(column)))
+
+    def pivot(self, index: str, columns: str, values: str) -> tuple:
+        """``(row_labels, col_labels, matrix)`` -- means over duplicates."""
+        row_labels = list(dict.fromkeys(r[index] for r in self.rows))
+        col_labels = list(dict.fromkeys(r[columns] for r in self.rows))
+        matrix = np.full((len(row_labels), len(col_labels)), np.nan)
+        counts = np.zeros_like(matrix)
+        for r in self.rows:
+            i, j = row_labels.index(r[index]), col_labels.index(r[columns])
+            if counts[i, j] == 0:
+                matrix[i, j] = 0.0
+            matrix[i, j] += r[values]
+            counts[i, j] += 1
+        with np.errstate(invalid="ignore"):
+            matrix = np.where(counts > 0, matrix / np.maximum(counts, 1), np.nan)
+        return row_labels, col_labels, matrix
+
+    def format(self, columns: tuple = ("scenario", "label", "throughput_mbps",
+                                       "utilization", "latency_ratio")) -> str:
+        widths = [max(len(c), 10) for c in columns]
+        lines = ["  ".join(c.ljust(w) for c, w in zip(columns, widths))]
+        for row in self.rows:
+            cells = []
+            for c, w in zip(columns, widths):
+                value = row.get(c, "")
+                text = f"{value:.3f}" if isinstance(value, float) else str(value)
+                cells.append(text.ljust(w))
+            lines.append("  ".join(cells))
+        return "\n".join(lines)
+
+
+@dataclass
+class SuiteResult:
+    """All scenario results of one runner invocation."""
+
+    results: list[ScenarioResult] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    @property
+    def table(self) -> ResultTable:
+        return ResultTable([row for result in self.results
+                            for row in result.rows()])
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.results if r.cached)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for r in self.results if not r.cached)
+
+    def records_for(self, name: str) -> list[FlowRecord]:
+        for result in self.results:
+            if result.scenario.name == name:
+                return result.records
+        raise KeyError(f"no scenario named {name!r}")
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+
+def _execute(scenario: Scenario) -> tuple[list[FlowRecord], float]:
+    t0 = time.perf_counter()
+    records = run_scenario(scenario)
+    return records, time.perf_counter() - t0
+
+
+#: Scenarios staged for the forked pool.  Workers index into the
+#: parent's copy-on-write memory instead of receiving pickled
+#: scenarios -- live agents embedded in a FlowDef would otherwise be
+#: serialised through the IPC pipe once per task.
+_FORK_SCENARIOS: list[Scenario] = []
+
+
+def _execute_staged(index: int) -> tuple[list[FlowRecord], float]:
+    return _execute(_FORK_SCENARIOS[index])
+
+
+class ParallelRunner:
+    """Execute scenario suites across processes with result memoization.
+
+    ``n_workers <= 1`` runs in-process (the reference serial path);
+    results are bit-identical either way because every scenario is a
+    self-contained, seeded simulation.  Workers are forked per ``run``
+    call *after* agent references resolve in the parent, so children
+    inherit the loaded models through copy-on-write memory instead of
+    re-reading (or worse, re-training) them.
+    """
+
+    def __init__(self, n_workers: int | None = None,
+                 cache_dir: str | Path | None = None, use_cache: bool = True):
+        if n_workers is None:
+            n_workers = max(1, min(mp.cpu_count(), 8))
+        self.n_workers = int(n_workers)
+        self.cache = ResultCache(cache_dir) if use_cache else None
+
+    def _warm_agents(self, scenarios: list[Scenario]) -> None:
+        refs = {flow.agent for s in scenarios for flow in s.flows
+                if isinstance(flow.agent, AgentRef)}
+        for ref in refs:
+            ref.resolve()
+
+    def run(self, suite) -> SuiteResult:
+        """Run a :class:`ScenarioSuite`, scenario list, or single scenario."""
+        if isinstance(suite, ScenarioSuite):
+            scenarios = suite.expand()
+        elif isinstance(suite, Scenario):
+            scenarios = [suite]
+        else:
+            scenarios = list(suite)
+        t0 = time.perf_counter()
+
+        results: dict[int, ScenarioResult] = {}
+        pending: list[tuple[int, Scenario, str | None]] = []
+        for idx, scenario in enumerate(scenarios):
+            fingerprint = scenario.fingerprint() if self.cache else None
+            cached = self.cache.get(fingerprint) if self.cache else None
+            if cached is not None:
+                results[idx] = ScenarioResult(scenario, cached, cached=True)
+            else:
+                pending.append((idx, scenario, fingerprint))
+
+        if pending:
+            self._warm_agents([s for _, s, _ in pending])
+            if self.n_workers > 1 and len(pending) > 1:
+                global _FORK_SCENARIOS
+                _FORK_SCENARIOS = [s for _, s, _ in pending]
+                try:
+                    ctx = mp.get_context("fork")
+                    with ctx.Pool(processes=min(self.n_workers, len(pending))) as pool:
+                        executed = pool.map(_execute_staged, range(len(pending)),
+                                            chunksize=1)
+                finally:
+                    _FORK_SCENARIOS = []
+            else:
+                executed = [_execute(s) for _, s, _ in pending]
+            for (idx, scenario, fingerprint), (records, elapsed) in zip(
+                    pending, executed):
+                results[idx] = ScenarioResult(scenario, records, elapsed=elapsed)
+                if self.cache:
+                    self.cache.put(fingerprint, scenario.name, records)
+
+        ordered = [results[idx] for idx in range(len(scenarios))]
+        return SuiteResult(results=ordered, elapsed=time.perf_counter() - t0)

@@ -72,16 +72,18 @@ class EvalNetwork:
 def scheme_factory(name: str, network: EvalNetwork, seed: int = 0,
                    mocc_agent: MoccAgent | None = None, mocc_weights=None,
                    aurora_agent: MoccAgent | None = None,
-                   orca_agent: MoccAgent | None = None):
+                   orca_agent: MoccAgent | None = None,
+                   initial_rate: float | None = None):
     """Build a controller for ``name``, sized sensibly for the network.
 
     Heuristic schemes need no models; ``mocc``/``aurora``/``orca`` take
     the corresponding pre-trained agents (see :mod:`repro.models.zoo`).
     Initial rates start at roughly a third of the bottleneck, as a real
-    deployment's slow-start handoff would.
+    deployment's slow-start handoff would; ``initial_rate`` (pps)
+    overrides that for rate-based schemes.
     """
     pps = network.bottleneck_pps
-    start_rate = max(pps / 3.0, 2.0)
+    start_rate = max(pps / 3.0, 2.0) if initial_rate is None else float(initial_rate)
     key = name.lower()
     if key == "cubic":
         return Cubic()

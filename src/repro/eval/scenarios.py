@@ -1,0 +1,392 @@
+"""Declarative evaluation scenarios and scenario grids.
+
+The paper's evaluation (Figs. 5-19) is a large matrix of network
+conditions x objectives x competing schemes.  Instead of every
+benchmark hand-rolling loops over :func:`repro.eval.runner.run_scheme`,
+experiments *declare* what to run:
+
+* :class:`AgentRef` -- a picklable reference to a pre-trained model in
+  the :mod:`repro.models.zoo` cache (process workers resolve it
+  locally instead of receiving a closure);
+* :class:`FlowDef` -- one flow: scheme name, objective weights, agent,
+  start/stop times;
+* :class:`Scenario` -- a concrete experiment: network + optional named
+  trace + flow line-up + duration + seed, with a content
+  :meth:`Scenario.fingerprint` for result caching;
+* :class:`ScenarioSuite` -- a named grid over bandwidth, RTT, loss,
+  buffer, trace and scheme line-ups whose :meth:`ScenarioSuite.expand`
+  yields the concrete scenarios.
+
+:mod:`repro.eval.parallel` executes suites across OS processes and
+memoizes finished scenarios on disk keyed by the fingerprint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from itertools import product
+from pathlib import Path
+
+import numpy as np
+
+from repro.eval.runner import EvalNetwork, run_competition, scheme_factory
+from repro.netsim.network import FlowRecord
+from repro.netsim.traces import make_trace
+
+__all__ = ["AgentRef", "FlowDef", "Scenario", "ScenarioSuite", "run_scenario"]
+
+#: Bumped whenever scenario execution changes in a way that invalidates
+#: previously cached results.
+SCENARIO_CACHE_VERSION = "v1"
+
+
+def _simulation_code_digest() -> str:
+    """Digest of the source files that determine simulation results.
+
+    Folded into every fingerprint so cached results go stale
+    automatically when the simulator, the baselines, or the inference
+    path change -- nobody has to remember to bump
+    ``SCENARIO_CACHE_VERSION`` for behavioural PRs.  Conservative on
+    purpose: a comment-only edit re-simulates, a silently wrong cached
+    figure does not happen.
+    """
+    import repro.baselines
+    import repro.core.agent
+    import repro.netsim
+
+    roots = [Path(repro.netsim.__file__).parent,
+             Path(repro.baselines.__file__).parent]
+    singles = [Path(repro.core.agent.__file__),
+               Path(__file__).resolve().parent / "runner.py"]
+    singles += [Path(repro.core.agent.__file__).parent.parent / "rl" / name
+                for name in ("policy.py", "nn.py", "distributions.py")]
+    files = sorted(p for root in roots for p in root.glob("*.py")) + singles
+    digest = hashlib.sha256()
+    for path in files:
+        digest.update(path.name.encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+_CODE_DIGEST: str | None = None
+
+
+def _code_digest() -> str:
+    global _CODE_DIGEST
+    if _CODE_DIGEST is None:
+        _CODE_DIGEST = _simulation_code_digest()
+    return _CODE_DIGEST
+
+
+@dataclass(frozen=True)
+class AgentRef:
+    """Picklable reference to a model in the zoo's on-disk cache.
+
+    ``kind`` selects the zoo entry point: ``"mocc"`` (the offline
+    multi-objective model), ``"aurora"`` (``flavor`` in
+    throughput/latency), or ``"aurora_for"`` (``flavor`` is the tag and
+    ``weights`` the fixed objective).  Workers resolve refs through the
+    process-wide zoo, so a model is loaded (or trained) at most once
+    per process and inherited for free by forked workers.
+    """
+
+    kind: str = "mocc"
+    flavor: str = "throughput"
+    quality: str = "fast"
+    seed: int = 0
+    omega: int = 36
+    weights: tuple | None = None
+
+    def key(self) -> str:
+        parts = [self.kind, self.flavor, self.quality,
+                 f"seed{self.seed}", f"omega{self.omega}"]
+        if self.weights is not None:
+            parts.append("w" + ",".join(f"{float(w):.6f}" for w in self.weights))
+        return "_".join(parts)
+
+    def resolve(self, zoo=None):
+        from repro.models.zoo import default_zoo
+        zoo = zoo or default_zoo()
+        if self.kind == "mocc":
+            return zoo.mocc_offline(quality=self.quality, omega=self.omega,
+                                    seed=self.seed)
+        if self.kind == "aurora":
+            return zoo.aurora(self.flavor, quality=self.quality, seed=self.seed)
+        if self.kind == "aurora_for":
+            if self.weights is None:
+                raise ValueError("aurora_for needs an objective weight vector")
+            return zoo.aurora_for(np.asarray(self.weights, dtype=np.float64),
+                                  tag=self.flavor, quality=self.quality,
+                                  seed=self.seed)
+        raise ValueError(f"unknown agent kind {self.kind!r}")
+
+
+def _agent_signature(agent) -> str:
+    """Stable identity of a flow's agent for scenario fingerprints."""
+    if agent is None:
+        return "none"
+    if isinstance(agent, AgentRef):
+        return "ref:" + agent.key()
+    # A live agent (e.g. handed in by a fixture): hash its parameters so
+    # differently-trained models never share cache entries.  No
+    # memoization by object identity -- online adaptation mutates
+    # models in place, and a stale digest would alias cache entries.
+    digest = hashlib.sha256()
+    state = agent.model.state_dict()
+    for name in sorted(state):
+        digest.update(name.encode())
+        digest.update(np.ascontiguousarray(state[name]).tobytes())
+    return "live:" + digest.hexdigest()[:16]
+
+
+def _resolve_agent(agent):
+    if agent is None or not isinstance(agent, AgentRef):
+        return agent
+    return agent.resolve()
+
+
+@dataclass(frozen=True)
+class FlowDef:
+    """One flow of a scenario.
+
+    ``weights`` is the MOCC preference vector (ignored by heuristic
+    schemes); ``agent`` is an :class:`AgentRef` or a live
+    :class:`~repro.core.agent.MoccAgent` for the learning-based
+    schemes.  ``rate_frac`` overrides the initial sending rate as a
+    fraction of the bottleneck capacity; ``seed`` overrides the
+    controller seed (defaults to the scenario seed).
+    """
+
+    scheme: str
+    weights: tuple | None = None
+    agent: object | None = None
+    start: float = 0.0
+    stop: float = float("inf")
+    seed: int | None = None
+    rate_frac: float | None = None
+    label: str = ""
+
+    def display_label(self) -> str:
+        return self.label or self.scheme
+
+    def signature(self) -> list:
+        weights = None if self.weights is None else [
+            f"{float(w):.8f}" for w in self.weights]
+        return [self.scheme.lower(), weights, _agent_signature(self.agent),
+                float(self.start), float(self.stop),
+                self.seed, self.rate_frac]
+
+    @staticmethod
+    def coerce(flow) -> "FlowDef":
+        if isinstance(flow, FlowDef):
+            return flow
+        if isinstance(flow, str):
+            return FlowDef(scheme=flow)
+        raise TypeError(f"cannot interpret {flow!r} as a flow")
+
+
+def _trace_signature(trace) -> list | str | None:
+    """Canonical content of a live trace object (for fingerprints)."""
+    if trace is None:
+        return None
+    sig: list = [type(trace).__name__]
+    for name in sorted(vars(trace)):
+        value = vars(trace)[name]
+        if isinstance(value, np.ndarray):
+            value = hashlib.sha256(np.ascontiguousarray(value).tobytes()).hexdigest()[:16]
+        sig.append([name, value if isinstance(value, str) else repr(value)])
+    return sig
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A concrete, picklable, fingerprintable experiment."""
+
+    name: str
+    network: EvalNetwork
+    flows: tuple
+    duration: float = 20.0
+    seed: int = 0
+    mi_duration: float | None = None
+    #: Name of a registered trace (see :func:`repro.netsim.traces.register_trace`)
+    #: applied on top of ``network``; keeps the scenario declarative.
+    trace: str | None = None
+    suite: str = ""
+    #: Display label of the line-up this scenario came from (set by
+    #: :meth:`ScenarioSuite.expand`); lets consumers key results
+    #: structurally instead of parsing the scenario name.
+    lineup: str = ""
+
+    def __post_init__(self):
+        object.__setattr__(self, "flows",
+                           tuple(FlowDef.coerce(f) for f in self.flows))
+        if not self.flows:
+            raise ValueError("a scenario needs at least one flow")
+        if self.trace is not None and self.network.trace is not None:
+            raise ValueError("give either a named trace or network.trace, not both")
+
+    def build_network(self) -> EvalNetwork:
+        if self.trace is None:
+            return self.network
+        return replace(self.network, trace=make_trace(self.trace))
+
+    def fingerprint(self) -> str:
+        """Content hash identifying the scenario's *results*.
+
+        The display name and suite are deliberately excluded so renames
+        keep their cache entries.  A named trace is hashed by the
+        *content* its registry factory currently produces, not just the
+        name, so re-registering a trace invalidates its cached results.
+        """
+        net = self.network
+        named_trace = None if self.trace is None else _trace_signature(
+            make_trace(self.trace))
+        payload = {
+            "version": SCENARIO_CACHE_VERSION,
+            "code": _code_digest(),
+            "network": [net.bandwidth_mbps, net.one_way_ms, net.buffer_bdp,
+                        net.queue_packets, net.loss_rate, net.packet_bytes,
+                        _trace_signature(net.trace)],
+            "trace": named_trace,
+            "flows": [f.signature() for f in self.flows],
+            "duration": float(self.duration),
+            "seed": int(self.seed),
+            "mi_duration": self.mi_duration,
+        }
+        blob = json.dumps(payload, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def run(self) -> list[FlowRecord]:
+        return run_scenario(self)
+
+
+def run_scenario(scenario: Scenario) -> list[FlowRecord]:
+    """Execute one scenario serially; the runner's worker entry point.
+
+    Equivalent to the hand-rolled ``scheme_factory`` + ``run_scheme`` /
+    ``run_competition`` loops the benchmarks used to contain: same
+    seeds, same event streams, identical records.
+    """
+    network = scenario.build_network()
+    controllers, starts, stops = [], [], []
+    for flow in scenario.flows:
+        seed = scenario.seed if flow.seed is None else flow.seed
+        agent = _resolve_agent(flow.agent)
+        kwargs = {}
+        key = flow.scheme.lower()
+        if key == "mocc":
+            kwargs = {"mocc_agent": agent, "mocc_weights": flow.weights}
+        elif key.startswith("aurora"):
+            kwargs = {"aurora_agent": agent}
+        elif key == "orca":
+            kwargs = {"orca_agent": agent}
+        initial_rate = None
+        if flow.rate_frac is not None:
+            initial_rate = flow.rate_frac * network.bottleneck_pps
+        controllers.append(scheme_factory(flow.scheme, network, seed=seed,
+                                          initial_rate=initial_rate, **kwargs))
+        starts.append(flow.start)
+        stops.append(flow.stop)
+    return run_competition(controllers, network, duration=scenario.duration,
+                           start_times=starts, stop_times=stops,
+                           seed=scenario.seed, mi_duration=scenario.mi_duration)
+
+
+def _coerce_lineups(lineups) -> tuple:
+    """Normalise a line-up description to ``((label, (FlowDef, ...)), ...)``.
+
+    Accepts a dict mapping labels to line-ups, or a sequence whose items
+    are a scheme name, a :class:`FlowDef`, or a sequence of either.
+    """
+    if isinstance(lineups, dict):
+        items = list(lineups.items())
+    else:
+        items = [(None, lineup) for lineup in lineups]
+    out = []
+    seen = set()
+    for label, lineup in items:
+        if isinstance(lineup, (str, FlowDef)):
+            lineup = (lineup,)
+        flows = tuple(FlowDef.coerce(f) for f in lineup)
+        if label is None:
+            label = "+".join(f.display_label() for f in flows)
+        if label in seen:
+            label = f"{label}#{sum(1 for l, _ in out if l.split('#')[0] == label)}"
+        seen.add(label)
+        out.append((label, flows))
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class ScenarioSuite:
+    """A named grid of scenarios: line-ups x network axes x seeds.
+
+    Axis semantics:
+
+    * ``bandwidths_mbps``, ``losses`` -- the bottleneck's capacity and
+      random loss rate;
+    * ``rtts_ms`` -- round-trip propagation delay (one-way is half);
+    * ``buffers`` -- queue size; ``float`` entries are multiples of the
+      BDP, ``int`` entries absolute packets (matching Fig. 5's axes);
+    * ``traces`` -- names from the trace registry (``None`` = constant
+      bandwidth).
+
+    ``expand()`` returns the cross product as concrete
+    :class:`Scenario` objects with stable, human-readable names.
+    """
+
+    name: str
+    lineups: tuple
+    bandwidths_mbps: tuple = (20.0,)
+    rtts_ms: tuple = (40.0,)
+    losses: tuple = (0.0,)
+    buffers: tuple = (1.0,)
+    traces: tuple = (None,)
+    seeds: tuple = (0,)
+    duration: float = 20.0
+    mi_duration: float | None = None
+    packet_bytes: int = 1500
+
+    def __post_init__(self):
+        object.__setattr__(self, "lineups", _coerce_lineups(self.lineups))
+        for axis in ("bandwidths_mbps", "rtts_ms", "losses", "buffers",
+                     "traces", "seeds"):
+            object.__setattr__(self, axis, tuple(getattr(self, axis)))
+
+    def __len__(self) -> int:
+        return (len(self.lineups) * len(self.bandwidths_mbps) * len(self.rtts_ms)
+                * len(self.losses) * len(self.buffers) * len(self.traces)
+                * len(self.seeds))
+
+    def _network(self, bandwidth, rtt, loss, buffer, trace) -> EvalNetwork:
+        is_packets = isinstance(buffer, (int, np.integer)) and not isinstance(buffer, bool)
+        queue_packets = int(buffer) if is_packets else None
+        buffer_bdp = float(buffer) if queue_packets is None else 1.0
+        return EvalNetwork(bandwidth_mbps=float(bandwidth), one_way_ms=rtt / 2.0,
+                           buffer_bdp=buffer_bdp, queue_packets=queue_packets,
+                           loss_rate=float(loss), packet_bytes=self.packet_bytes)
+
+    def expand(self) -> list[Scenario]:
+        scenarios = []
+        axes = [("bw", self.bandwidths_mbps), ("rtt", self.rtts_ms),
+                ("loss", self.losses), ("buf", self.buffers),
+                ("trace", self.traces), ("seed", self.seeds)]
+        varying = {label for label, values in axes if len(values) > 1}
+        for (label, flows), bw, rtt, loss, buf, trace, seed in product(
+                self.lineups, self.bandwidths_mbps, self.rtts_ms, self.losses,
+                self.buffers, self.traces, self.seeds):
+            parts = [label]
+            values = {"bw": bw, "rtt": rtt, "loss": loss, "buf": buf,
+                      "trace": trace, "seed": seed}
+            for axis in ("bw", "rtt", "loss", "buf", "trace", "seed"):
+                if axis in varying:
+                    parts.append(f"{axis}={values[axis]}")
+            scenarios.append(Scenario(
+                name="/".join([self.name] + parts),
+                network=self._network(bw, rtt, loss, buf, trace),
+                flows=flows, duration=self.duration, seed=int(seed),
+                mi_duration=self.mi_duration, trace=trace, suite=self.name,
+                lineup=label))
+        return scenarios

@@ -6,24 +6,49 @@ loss (0-10 %) and buffer size (500-5000 packets) -- reporting link
 utilization for the throughput objective and latency ratio for the
 latency objective.  The evaluation ranges deliberately exceed the
 training ranges (Table 3) to probe robustness.
+
+Sweeps are expressed as :class:`~repro.eval.scenarios.ScenarioSuite`
+grids and executed through a :class:`~repro.eval.parallel.ParallelRunner`,
+so they shard across cores and memoize per-scenario results; the
+default runner (serial, uncached) reproduces the historical behaviour
+exactly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-from repro.eval.runner import EvalNetwork, run_scheme, scheme_factory
+from repro.eval.parallel import ParallelRunner
+from repro.eval.runner import EvalNetwork
+from repro.eval.scenarios import FlowDef, ScenarioSuite
 
-__all__ = ["SweepResult", "sweep_schemes", "FIG5_BANDWIDTHS", "FIG5_LATENCIES",
-           "FIG5_LOSSES", "FIG5_BUFFERS"]
+__all__ = ["SweepResult", "sweep_suite", "sweep_schemes", "FIG5_BANDWIDTHS",
+           "FIG5_LATENCIES", "FIG5_LOSSES", "FIG5_BUFFERS",
+           "FIG5_BENCH_SCHEMES", "FIG5_BENCH_SWEEPS", "FIG5_BENCH_BASE",
+           "FIG5_BENCH_DURATION", "FIG5_BENCH_SEED"]
 
 #: The x-axes of Fig. 5 (subsampled where the paper's grid is dense).
 FIG5_BANDWIDTHS = (10.0, 20.0, 30.0, 40.0, 50.0)
 FIG5_LATENCIES = (10.0, 40.0, 70.0, 100.0, 130.0, 160.0, 200.0)
 FIG5_LOSSES = (0.0, 0.01, 0.02, 0.03, 0.05, 0.08, 0.10)
 FIG5_BUFFERS = (500, 1500, 2500, 3500, 5000)
+
+#: The grid the Fig. 5 *benchmark* actually runs -- shared by
+#: benchmarks/bench_fig5_sweeps.py and scripts/prewarm_cache.py so the
+#: prewarmed cache fingerprints always match what the benchmark asks for.
+FIG5_BENCH_SCHEMES = ("mocc", "cubic", "vegas", "bbr", "copa", "vivace",
+                      "aurora-throughput")
+FIG5_BENCH_SWEEPS = (
+    ("bandwidth", (10.0, 20.0, 35.0, 50.0)),
+    ("latency", (10.0, 70.0, 130.0, 200.0)),
+    ("loss", (0.0, 0.02, 0.05, 0.10)),
+    ("buffer", (500, 1500, 3000, 5000)),
+)
+FIG5_BENCH_BASE = EvalNetwork(bandwidth_mbps=20.0, one_way_ms=20.0, buffer_bdp=1.0)
+FIG5_BENCH_DURATION = 12.0
+FIG5_BENCH_SEED = 2
 
 
 @dataclass
@@ -54,47 +79,83 @@ class SweepResult:
         return "\n".join(lines)
 
 
-def _network_for(parameter: str, value, base: EvalNetwork) -> EvalNetwork:
-    if parameter == "bandwidth":
-        return EvalNetwork(bandwidth_mbps=float(value), one_way_ms=base.one_way_ms,
-                           buffer_bdp=base.buffer_bdp, loss_rate=base.loss_rate,
-                           packet_bytes=base.packet_bytes)
-    if parameter == "latency":
-        return EvalNetwork(bandwidth_mbps=base.bandwidth_mbps, one_way_ms=float(value),
-                           buffer_bdp=base.buffer_bdp, loss_rate=base.loss_rate,
-                           packet_bytes=base.packet_bytes)
-    if parameter == "loss":
-        return EvalNetwork(bandwidth_mbps=base.bandwidth_mbps, one_way_ms=base.one_way_ms,
-                           buffer_bdp=base.buffer_bdp, loss_rate=float(value),
-                           packet_bytes=base.packet_bytes)
-    if parameter == "buffer":
-        return EvalNetwork(bandwidth_mbps=base.bandwidth_mbps, one_way_ms=base.one_way_ms,
-                           queue_packets=int(value), loss_rate=base.loss_rate,
-                           packet_bytes=base.packet_bytes)
-    raise ValueError(f"unknown sweep parameter {parameter!r}")
+def _flow_for(scheme: str, controller_kwargs: dict) -> FlowDef:
+    key = scheme.lower()
+    if key == "mocc":
+        return FlowDef(scheme=scheme, agent=controller_kwargs.get("mocc_agent"),
+                       weights=_as_weight_tuple(controller_kwargs.get("mocc_weights")))
+    if key.startswith("aurora"):
+        return FlowDef(scheme=scheme, agent=controller_kwargs.get("aurora_agent"))
+    if key == "orca":
+        return FlowDef(scheme=scheme, agent=controller_kwargs.get("orca_agent"))
+    return FlowDef(scheme=scheme)
 
 
-def sweep_schemes(schemes, parameter: str, values, base: EvalNetwork | None = None,
-                  duration: float = 20.0, seed: int = 0,
-                  controller_kwargs: dict | None = None) -> SweepResult:
-    """Run every scheme at every parameter value; collect the metrics.
+def _as_weight_tuple(weights):
+    return None if weights is None else tuple(float(w) for w in np.asarray(weights))
 
-    ``controller_kwargs`` carries the pre-trained agents for the
-    learning-based schemes (see :func:`repro.eval.runner.scheme_factory`).
-    """
+
+def sweep_suite(schemes, parameter: str, values, base: EvalNetwork | None = None,
+                duration: float = 20.0, seed: int = 0,
+                controller_kwargs: dict | None = None,
+                name: str | None = None) -> ScenarioSuite:
+    """Declare the Fig. 5-style one-parameter sweep as a scenario grid."""
     base = base or EvalNetwork()
     controller_kwargs = controller_kwargs or {}
     schemes = tuple(schemes)
     values = tuple(values)
+    axes = {"bandwidths_mbps": (base.bandwidth_mbps,),
+            "rtts_ms": (2.0 * base.one_way_ms,),
+            "losses": (base.loss_rate,),
+            "buffers": (float(base.buffer_bdp),)}
+    if parameter == "bandwidth":
+        axes["bandwidths_mbps"] = tuple(float(v) for v in values)
+    elif parameter == "latency":
+        # Sweep values are one-way delays (the paper's axis); the suite's
+        # RTT axis is round-trip.
+        axes["rtts_ms"] = tuple(2.0 * float(v) for v in values)
+    elif parameter == "loss":
+        axes["losses"] = tuple(float(v) for v in values)
+    elif parameter == "buffer":
+        axes["buffers"] = tuple(int(v) for v in values)
+    else:
+        raise ValueError(f"unknown sweep parameter {parameter!r}")
+    # A sequence (not a dict) so duplicate scheme names each get their
+    # own line-up, as the pre-suite loop ran them.
+    lineups = tuple((_flow_for(scheme, controller_kwargs),)
+                    for scheme in schemes)
+    return ScenarioSuite(name=name or f"fig5-{parameter}", lineups=lineups,
+                         duration=duration, seeds=(seed,),
+                         packet_bytes=base.packet_bytes, **axes)
+
+
+def sweep_schemes(schemes, parameter: str, values, base: EvalNetwork | None = None,
+                  duration: float = 20.0, seed: int = 0,
+                  controller_kwargs: dict | None = None,
+                  runner: ParallelRunner | None = None) -> SweepResult:
+    """Run every scheme at every parameter value; collect the metrics.
+
+    ``controller_kwargs`` carries the pre-trained agents for the
+    learning-based schemes (see :func:`repro.eval.runner.scheme_factory`),
+    either live or as :class:`~repro.eval.scenarios.AgentRef`.  Pass a
+    shared ``runner`` to parallelise and cache; the default is the
+    serial, uncached reference path.
+    """
+    schemes = tuple(schemes)
+    values = tuple(values)
+    suite = sweep_suite(schemes, parameter, values, base=base, duration=duration,
+                        seed=seed, controller_kwargs=controller_kwargs)
+    runner = runner or ParallelRunner(n_workers=1, use_cache=False)
+    outcome = runner.run(suite)
+
     shape = (len(schemes), len(values))
     utilization = np.zeros(shape)
     latency_ratio = np.zeros(shape)
     loss_rate = np.zeros(shape)
-    for j, value in enumerate(values):
-        network = _network_for(parameter, value, base)
-        for i, scheme in enumerate(schemes):
-            controller = scheme_factory(scheme, network, seed=seed, **controller_kwargs)
-            record = run_scheme(controller, network, duration=duration, seed=seed)
+    # expand() iterates line-ups (schemes) outermost, axis values inner.
+    for i in range(len(schemes)):
+        for j in range(len(values)):
+            record = outcome.results[i * len(values) + j].records[0]
             utilization[i, j] = record.mean_utilization
             latency_ratio[i, j] = record.latency_ratio
             loss_rate[i, j] = record.loss_rate

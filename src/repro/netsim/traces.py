@@ -25,6 +25,9 @@ __all__ = [
     "StepTrace",
     "RandomWalkTrace",
     "PiecewiseTrace",
+    "register_trace",
+    "make_trace",
+    "trace_names",
 ]
 
 #: Default simulated packet size (bytes).  1500 B is the standard
@@ -174,3 +177,50 @@ class PiecewiseTrace(BandwidthTrace):
 
     def max_bandwidth(self) -> float:
         return max(self.pps)
+
+
+# --- named-trace registry ----------------------------------------------------
+#
+# Scenario descriptions (repro.eval.scenarios) must stay declarative and
+# picklable, so they reference traces by *name*; the registry maps names
+# to deterministic factories.  Factories (rather than instances) keep
+# registration cheap and every lookup independent.
+
+_TRACE_REGISTRY: dict = {}
+
+
+def register_trace(name: str, factory, overwrite: bool = False) -> None:
+    """Register a named trace factory (``factory() -> BandwidthTrace``).
+
+    Experiments register their traces at import time; ``overwrite``
+    guards against two experiments silently claiming the same name.
+    """
+    if not overwrite and name in _TRACE_REGISTRY:
+        raise ValueError(f"trace {name!r} already registered")
+    _TRACE_REGISTRY[name] = factory
+
+
+def make_trace(name: str) -> BandwidthTrace:
+    """Instantiate the registered trace ``name``."""
+    try:
+        factory = _TRACE_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown trace {name!r}; registered: {sorted(_TRACE_REGISTRY)}"
+        ) from None
+    return factory()
+
+
+def trace_names() -> tuple:
+    """Names of all registered traces, sorted."""
+    return tuple(sorted(_TRACE_REGISTRY))
+
+
+# Built-in named scenarios.  "fig1-step" is the paper's motivating
+# oscillating bottleneck; the walk traces emulate cellular/WiFi-like
+# capacity processes with fixed seeds so results are reproducible.
+register_trace("fig1-step", lambda: StepTrace.from_mbps(20.0, 30.0, period=5.0))
+register_trace("cellular-walk", lambda: RandomWalkTrace(
+    mbps_to_pps(2.0), mbps_to_pps(30.0), interval=1.0, step=0.3, seed=42))
+register_trace("wifi-walk", lambda: RandomWalkTrace(
+    mbps_to_pps(10.0), mbps_to_pps(60.0), interval=0.5, step=0.2, seed=7))

@@ -15,7 +15,27 @@ from repro.netsim.env import MoccEnv
 from repro.rl.policy import PreferenceActorCritic
 from repro.rl.rollout import RolloutBuffer
 
-__all__ = ["collect_rollout", "evaluate_policy", "run_policy_episode"]
+__all__ = ["collect_rollout", "evaluate_policy", "run_policy_episode",
+           "resolve_objective"]
+
+#: Default environment objective when a caller passes ``weights=None``
+#: (only legal for unconditioned models): the balanced requirement.
+BALANCED_OBJECTIVE = np.full(3, 1.0 / 3.0)
+
+
+def resolve_objective(weights, conditioned: bool) -> np.ndarray:
+    """Normalise a caller's weight argument to the env's objective vector.
+
+    The environment always needs an objective for its reward, even when
+    the *model* is unconditioned (``weight_dim == 0``); ``None`` then
+    means the balanced objective.  Conditioned models must be given
+    their preference explicitly.
+    """
+    if weights is None:
+        if conditioned:
+            raise ValueError("preference-conditioned model needs a weight vector")
+        return BALANCED_OBJECTIVE.copy()
+    return np.asarray(weights, dtype=np.float64)
 
 
 def collect_rollout(env: MoccEnv, model: PreferenceActorCritic, weights,
@@ -26,9 +46,11 @@ def collect_rollout(env: MoccEnv, model: PreferenceActorCritic, weights,
     Returns ``(buffer, bootstrap_value, mean_episode_reward, carry)``.
     ``carry`` is the ``(obs, weights)`` pair to resume from (pass it back
     as ``obs_state`` to continue the same episode across iterations).
+    ``weights=None`` is accepted for unconditioned models (the env then
+    rewards the balanced objective).
     """
-    weights = np.asarray(weights, dtype=np.float64)
     conditioned = model.weight_dim > 0
+    weights = resolve_objective(weights, conditioned)
     buffer = RolloutBuffer(env.observation_dim, model.weight_dim, model.act_dim, steps)
 
     if obs_state is None:
@@ -58,7 +80,13 @@ def collect_rollout(env: MoccEnv, model: PreferenceActorCritic, weights,
     else:
         bootstrap = model.value(obs, w_obs if conditioned else None)
     if not episode_rewards:
-        episode_rewards.append(episode_total)
+        # No episode completed (the rollout is shorter than an episode,
+        # e.g. after sharding across workers): extrapolate the per-step
+        # reward to the episode horizon rather than reporting the
+        # partial total as a finished episode, so reward traces stay
+        # comparable no matter how collection is sharded.
+        horizon = getattr(getattr(env, "env", env), "max_steps", steps)
+        episode_rewards.append(episode_total * max(horizon, steps) / steps)
     return buffer, bootstrap, float(np.mean(episode_rewards)), (obs, w_obs)
 
 
@@ -68,9 +96,10 @@ def run_policy_episode(env: MoccEnv, model: PreferenceActorCritic, weights,
 
     ``mean_components`` is the per-step average of (O_thr, O_lat,
     O_loss) -- useful for utilization/latency reporting.
+    ``weights=None`` is accepted for unconditioned models.
     """
-    weights = np.asarray(weights, dtype=np.float64)
     conditioned = model.weight_dim > 0
+    weights = resolve_objective(weights, conditioned)
     obs, w_obs = env.reset(weights)
     total = 0.0
     comps = np.zeros(3)

@@ -28,7 +28,7 @@ import numpy as np
 
 from repro.config import NetworkParams, NetworkRanges
 from repro.netsim.env import CongestionControlEnv, MoccEnv
-from repro.rl.collect import collect_rollout
+from repro.rl.collect import collect_rollout, resolve_objective
 from repro.rl.distributions import DiagGaussian
 from repro.rl.policy import PreferenceActorCritic
 from repro.rl.rollout import RolloutBuffer
@@ -93,11 +93,11 @@ class VectorCollector:
                 rng: np.random.Generator):
         n = len(self.envs)
         per_env = max(steps // n, 1)
-        weights = np.asarray(weights, dtype=np.float64)
         conditioned = model.weight_dim > 0
+        weights = resolve_objective(weights, conditioned)
 
         obs = np.stack([env.reset(weights)[0] for env in self.envs])
-        w_batch = np.repeat(weights[None, :], n, axis=0)
+        w_batch = np.repeat(weights[None, :], n, axis=0) if conditioned else None
         buffers = [RolloutBuffer(self.envs[0].observation_dim, model.weight_dim,
                                  model.act_dim, per_env) for _ in range(n)]
         episode_totals = np.zeros(n)
@@ -126,7 +126,15 @@ class VectorCollector:
         for i, buffer in enumerate(buffers):
             bootstraps.append(0.0 if buffer.dones[buffer.size - 1] else float(boot_values[i]))
         if not finished:
-            finished = list(episode_totals)
+            # No episode completed within per_env steps (common once the
+            # rollout is split n ways: per_env can be shorter than an
+            # episode).  The partial totals cover only per_env of the
+            # episode's steps, so reporting them as episode rewards
+            # under-states the mean by ~horizon/per_env and puts a
+            # sawtooth into OnlineAdapter's reward traces; extrapolate
+            # the per-step reward to the episode horizon instead.
+            horizon = max(self.spec.max_steps, per_env)
+            finished = [total * horizon / per_env for total in episode_totals]
         return buffers, bootstraps, float(np.mean(finished))
 
     def close(self) -> None:
@@ -184,7 +192,7 @@ class ProcessCollector:
         per_worker = max(steps // self.n_workers, 1)
         arch = model.architecture()
         state = model.state_dict()
-        weights = np.asarray(weights, dtype=np.float64)
+        weights = resolve_objective(weights, model.weight_dim > 0)
         jobs = [(self.spec, arch, state, weights, per_worker,
                  int(rng.integers(0, 2 ** 31)), 1000 * (i + 1))
                 for i in range(self.n_workers)]

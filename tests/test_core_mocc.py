@@ -207,6 +207,23 @@ class TestAdaptationTrace:
         it = trace.convergence_iteration(smooth=3)
         assert it >= 3
 
+    def test_convergence_smoothing_recentered_on_window_end(self):
+        # The reward jumps at iteration 11 (1-based); a smooth-5 window
+        # first fully covers the new level over iterations 11-15, so the
+        # reported convergence must be 15 -- not 11 shifted left by the
+        # convolution's index offset.
+        trace = AdaptationTrace(rewards=[0.0] * 10 + [100.0] * 20)
+        assert trace.convergence_iteration(smooth=1) == 11
+        assert trace.convergence_iteration(smooth=5) == 15
+
+    def test_convergence_never_before_smoothing_window_fills(self):
+        trace = AdaptationTrace(rewards=[50.0, 50.0, 50.0, 50.0])
+        assert trace.convergence_iteration(smooth=3) == 3
+
+    def test_convergence_smooth_longer_than_trace(self):
+        trace = AdaptationTrace(rewards=[1.0, 2.0, 4.0])
+        assert trace.convergence_iteration(smooth=10) == 3
+
     def test_empty_trace_raises(self):
         with pytest.raises(ValueError):
             AdaptationTrace().convergence_iteration()

@@ -1,0 +1,133 @@
+"""Tests for the parallel scenario runner and its on-disk result cache."""
+
+import numpy as np
+import pytest
+
+from repro.eval.metrics import jain_index_series
+from repro.eval.parallel import ParallelRunner, ResultCache, ResultTable
+from repro.eval.scenarios import FlowDef, Scenario, ScenarioSuite
+from repro.eval.runner import EvalNetwork
+
+NET = EvalNetwork(bandwidth_mbps=8.0, one_way_ms=10.0, buffer_bdp=1.0)
+
+#: 24 scenarios of heuristic schemes -- small enough for CI, large
+#: enough to exercise sharding.
+SUITE = ScenarioSuite(name="unit", lineups=("cubic", "vegas", "bbr"),
+                      bandwidths_mbps=(6.0, 12.0), losses=(0.0, 0.01),
+                      seeds=(0, 1), duration=1.5)
+
+
+def _flat(outcome):
+    return [(r.scenario.name, rec.mean_throughput_pps, rec.mean_rtt,
+             rec.loss_rate)
+            for r in outcome for rec in r.records]
+
+
+class TestParallelRunner:
+    def test_parallel_matches_serial(self, tmp_path):
+        serial = ParallelRunner(n_workers=1, use_cache=False)
+        parallel = ParallelRunner(n_workers=2, use_cache=False)
+        assert _flat(serial.run(SUITE)) == _flat(parallel.run(SUITE))
+
+    def test_cache_round_trip_and_speedup(self, tmp_path):
+        runner = ParallelRunner(n_workers=2, cache_dir=tmp_path)
+        first = runner.run(SUITE)
+        assert first.cache_hits == 0 and first.cache_misses == len(first) == 24
+        second = runner.run(SUITE)
+        assert second.cache_hits == 24 and second.cache_misses == 0
+        # The acceptance bar is >= 2x; in practice cache reads are
+        # orders of magnitude faster than simulating.
+        assert second.elapsed < first.elapsed / 2
+        assert _flat(first) == _flat(second)
+
+    def test_cached_records_preserve_monitor_intervals(self, tmp_path):
+        scenario = Scenario(name="mi", network=NET, duration=4.0, seed=2,
+                            flows=(FlowDef("cubic"), FlowDef("vegas", start=1.0)))
+        runner = ParallelRunner(n_workers=1, cache_dir=tmp_path)
+        fresh = runner.run([scenario]).results[0].records
+        cached = runner.run([scenario]).results[0].records
+        assert len(cached[0].records) == len(fresh[0].records) > 0
+        s_fresh, s_cached = fresh[0].records[3], cached[0].records[3]
+        assert s_fresh == s_cached
+        np.testing.assert_allclose(jain_index_series(cached),
+                                   jain_index_series(fresh))
+
+    def test_single_scenario_and_list_inputs(self, tmp_path):
+        runner = ParallelRunner(n_workers=1, cache_dir=tmp_path)
+        scenario = SUITE.expand()[0]
+        assert len(runner.run(scenario)) == 1
+        assert len(runner.run([scenario, scenario])) == 2
+
+    def test_corrupt_cache_entry_is_a_miss(self, tmp_path):
+        runner = ParallelRunner(n_workers=1, cache_dir=tmp_path)
+        scenario = Scenario(name="c", network=NET, flows=("cubic",), duration=1.0)
+        runner.run([scenario])
+        path = runner.cache._path(scenario.fingerprint())
+        path.write_text("{not json")
+        outcome = runner.run([scenario])
+        assert outcome.cache_misses == 1  # silently recomputed
+
+    def test_version_mismatch_is_a_miss(self, tmp_path):
+        runner = ParallelRunner(n_workers=1, cache_dir=tmp_path)
+        scenario = Scenario(name="v", network=NET, flows=("cubic",), duration=1.0)
+        runner.run([scenario])
+        path = runner.cache._path(scenario.fingerprint())
+        path.write_text(path.read_text().replace('"version": "', '"version": "stale-'))
+        assert runner.run([scenario]).cache_misses == 1
+
+    def test_records_for(self, tmp_path):
+        runner = ParallelRunner(n_workers=1, use_cache=False)
+        outcome = runner.run(ScenarioSuite(name="rf", lineups=("cubic",),
+                                           duration=1.0))
+        assert outcome.records_for("rf/cubic")[0].scheme
+        with pytest.raises(KeyError):
+            outcome.records_for("nope")
+
+    def test_cache_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        runner = ParallelRunner(n_workers=1, cache_dir=tmp_path)
+        runner.run(ScenarioSuite(name="cc", lineups=("cubic", "vegas"),
+                                 duration=1.0))
+        assert cache.clear() == 2
+        assert cache.clear() == 0
+
+
+class TestSweepCompat:
+    def test_sweep_schemes_accepts_duplicate_schemes(self):
+        from repro.eval.sweeps import sweep_schemes
+        result = sweep_schemes(("cubic", "cubic"), "bandwidth", (6.0,),
+                               duration=1.0, seed=0)
+        assert result.utilization.shape == (2, 1)
+        # Same scheme, same seed: both line-ups simulate identically.
+        np.testing.assert_allclose(result.utilization[0], result.utilization[1])
+
+
+class TestResultTable:
+    def _table(self):
+        runner = ParallelRunner(n_workers=1, use_cache=False)
+        return runner.run(ScenarioSuite(
+            name="t", lineups=("cubic", "vegas"),
+            bandwidths_mbps=(6.0, 12.0), duration=1.5)).table
+
+    def test_rows_and_filter(self):
+        table = self._table()
+        assert len(table) == 4
+        cubic = table.filter(scheme="cubic")
+        assert len(cubic) == 2
+        assert all(r["label"] == "cubic" for r in cubic)
+        assert len(table.filter(scheme="cubic", bandwidth_mbps=6.0)) == 1
+
+    def test_values_and_mean(self):
+        table = self._table()
+        assert table.values("utilization").shape == (4,)
+        assert 0.0 <= table.mean("utilization", scheme="cubic") <= 1.0
+
+    def test_pivot(self):
+        rows, cols, matrix = self._table().pivot(
+            "label", "bandwidth_mbps", "throughput_pps")
+        assert rows == ["cubic", "vegas"] and cols == [6.0, 12.0]
+        assert matrix.shape == (2, 2) and np.all(np.isfinite(matrix))
+
+    def test_format_is_printable(self):
+        text = self._table().format()
+        assert "scenario" in text and "cubic" in text

@@ -1,0 +1,213 @@
+"""Tests for declarative scenarios, suites, and the trace registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.agent import MoccAgent
+from repro.config import DEFAULT_TRAINING
+from repro.eval.runner import EvalNetwork, run_competition, run_scheme, scheme_factory
+from repro.eval.scenarios import (
+    AgentRef,
+    FlowDef,
+    Scenario,
+    ScenarioSuite,
+    _agent_signature,
+    run_scenario,
+)
+from repro.netsim.traces import (
+    ConstantTrace,
+    StepTrace,
+    make_trace,
+    register_trace,
+    trace_names,
+)
+
+NET = EvalNetwork(bandwidth_mbps=8.0, one_way_ms=10.0, buffer_bdp=1.0)
+
+
+class TestTraceRegistry:
+    def test_builtin_traces_registered(self):
+        assert "fig1-step" in trace_names()
+        assert isinstance(make_trace("fig1-step"), StepTrace)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown trace"):
+            make_trace("no-such-trace")
+
+    def test_duplicate_registration_guard(self):
+        register_trace("test-dup", lambda: ConstantTrace(100.0))
+        with pytest.raises(ValueError, match="already registered"):
+            register_trace("test-dup", lambda: ConstantTrace(200.0))
+        register_trace("test-dup", lambda: ConstantTrace(300.0), overwrite=True)
+        assert make_trace("test-dup").pps == 300.0
+
+    def test_factories_return_fresh_instances(self):
+        assert make_trace("fig1-step") is not make_trace("fig1-step")
+
+
+class TestFlowDef:
+    def test_coerce_str(self):
+        flow = FlowDef.coerce("cubic")
+        assert flow.scheme == "cubic" and flow.display_label() == "cubic"
+
+    def test_coerce_passthrough_and_error(self):
+        flow = FlowDef("bbr", label="probe")
+        assert FlowDef.coerce(flow) is flow
+        with pytest.raises(TypeError):
+            FlowDef.coerce(42)
+
+
+class TestScenario:
+    def test_named_trace_builds_network(self):
+        scenario = Scenario(name="t", network=NET, flows=("cubic",),
+                            trace="fig1-step", duration=2.0)
+        built = scenario.build_network()
+        assert isinstance(built.trace, StepTrace)
+        assert scenario.network.trace is None  # original untouched
+
+    def test_trace_conflict_rejected(self):
+        with pytest.raises(ValueError, match="not both"):
+            Scenario(name="t", flows=("cubic",), trace="fig1-step",
+                     network=EvalNetwork(trace=ConstantTrace(100.0)))
+
+    def test_fingerprint_ignores_name_and_suite(self):
+        a = Scenario(name="a", suite="s1", network=NET, flows=("cubic",))
+        b = Scenario(name="b", suite="s2", network=NET, flows=("cubic",))
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_sensitive_to_content(self):
+        base = Scenario(name="x", network=NET, flows=("cubic",))
+        prints = {
+            base.fingerprint(),
+            Scenario(name="x", network=NET, flows=("cubic",), seed=1).fingerprint(),
+            Scenario(name="x", network=NET, flows=("cubic",), duration=9.0).fingerprint(),
+            Scenario(name="x", network=NET, flows=("vegas",)).fingerprint(),
+            Scenario(name="x", network=NET, flows=("cubic",),
+                     trace="fig1-step").fingerprint(),
+        }
+        assert len(prints) == 5
+
+    def test_fingerprint_tracks_named_trace_content(self):
+        register_trace("fp-trace", lambda: ConstantTrace(100.0))
+        scenario = Scenario(name="x", network=NET, flows=("cubic",),
+                            trace="fp-trace")
+        before = scenario.fingerprint()
+        # Re-registering the same name with different content must
+        # invalidate cached results for scenarios using it.
+        register_trace("fp-trace", lambda: ConstantTrace(200.0), overwrite=True)
+        assert scenario.fingerprint() != before
+
+    def test_live_agent_signatures_differ_by_parameters(self):
+        a1 = MoccAgent(DEFAULT_TRAINING, seed=1)
+        a2 = MoccAgent(DEFAULT_TRAINING, seed=2)
+        assert _agent_signature(a1) == _agent_signature(a1)
+        assert _agent_signature(a1) != _agent_signature(a2)
+        assert _agent_signature(None) == "none"
+        assert _agent_signature(AgentRef()).startswith("ref:")
+
+    def test_run_matches_legacy_single_flow(self):
+        scenario = Scenario(name="parity", network=NET, flows=("cubic",),
+                            duration=4.0, seed=3)
+        record = run_scenario(scenario)[0]
+        legacy = run_scheme(scheme_factory("cubic", NET, seed=3), NET,
+                            duration=4.0, seed=3)
+        assert record.mean_throughput_pps == legacy.mean_throughput_pps
+        assert record.mean_rtt == legacy.mean_rtt
+        assert record.loss_rate == legacy.loss_rate
+
+    def test_run_matches_legacy_competition(self):
+        scenario = Scenario(
+            name="parity2", network=NET,
+            flows=(FlowDef("cubic", start=0.0), FlowDef("vegas", start=2.0)),
+            duration=6.0, seed=5)
+        records = run_scenario(scenario)
+        legacy = run_competition(
+            [scheme_factory("cubic", NET, seed=5), scheme_factory("vegas", NET, seed=5)],
+            NET, duration=6.0, start_times=[0.0, 2.0], seed=5)
+        for mine, theirs in zip(records, legacy):
+            assert mine.mean_throughput_pps == theirs.mean_throughput_pps
+
+    def test_rate_frac_overrides_initial_rate(self):
+        scenario = Scenario(name="r", network=NET,
+                            flows=(FlowDef("bbr", rate_frac=0.5),), duration=1.0)
+        # Equivalent hand-built controller: BBR at half the bottleneck.
+        record = run_scenario(scenario)[0]
+        legacy = run_scheme(
+            scheme_factory("bbr", NET, seed=0, initial_rate=NET.bottleneck_pps / 2),
+            NET, duration=1.0, seed=0)
+        assert record.mean_throughput_pps == legacy.mean_throughput_pps
+
+
+class TestAgentRef:
+    def test_keys_distinguish_models(self):
+        keys = {AgentRef().key(),
+                AgentRef(quality="full").key(),
+                AgentRef(kind="aurora", flavor="latency").key(),
+                AgentRef(kind="aurora_for", flavor="rtc",
+                         weights=(0.2, 0.3, 0.5)).key()}
+        assert len(keys) == 4
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown agent kind"):
+            AgentRef(kind="bogus").resolve()
+
+    def test_aurora_for_requires_weights(self):
+        with pytest.raises(ValueError, match="weight vector"):
+            AgentRef(kind="aurora_for").resolve()
+
+
+class TestScenarioSuite:
+    def test_grid_size_and_names(self):
+        suite = ScenarioSuite(name="grid", lineups=("cubic", "vegas"),
+                              bandwidths_mbps=(5.0, 10.0), losses=(0.0, 0.01),
+                              seeds=(0, 1), duration=1.0)
+        scenarios = suite.expand()
+        assert len(scenarios) == len(suite) == 16
+        assert len({s.name for s in scenarios}) == 16
+        assert all(s.suite == "grid" for s in scenarios)
+        # Singleton axes are not in the name; varying ones are.
+        assert "rtt=" not in scenarios[0].name
+        assert "bw=" in scenarios[0].name and "seed=" in scenarios[0].name
+
+    def test_rtt_axis_is_round_trip(self):
+        suite = ScenarioSuite(name="r", lineups=("cubic",), rtts_ms=(50.0,))
+        assert suite.expand()[0].network.one_way_ms == 25.0
+
+    def test_buffer_axis_semantics(self):
+        suite = ScenarioSuite(name="b", lineups=("cubic",), buffers=(2.0, 1500))
+        bdp, pkts = suite.expand()
+        assert bdp.network.buffer_bdp == 2.0 and bdp.network.queue_packets is None
+        assert pkts.network.queue_packets == 1500
+
+    def test_buffer_axis_accepts_numpy_integers(self):
+        suite = ScenarioSuite(name="b", lineups=("cubic",),
+                              buffers=tuple(np.array([500, 1500])))
+        for scenario in suite.expand():
+            assert scenario.network.queue_packets in (500, 1500)
+
+    def test_expand_records_lineup_label(self):
+        suite = ScenarioSuite(name="l", lineups={"probe": ("cubic", "vegas")},
+                              rtts_ms=(20.0, 40.0))
+        assert all(s.lineup == "probe" for s in suite.expand())
+
+    def test_multiflow_lineups_and_labels(self):
+        suite = ScenarioSuite(
+            name="duo",
+            lineups={"pair": (FlowDef("cubic"), FlowDef("vegas", start=3.0))},
+            duration=1.0)
+        scenario = suite.expand()[0]
+        assert scenario.name == "duo/pair"
+        assert [f.scheme for f in scenario.flows] == ["cubic", "vegas"]
+        assert scenario.flows[1].start == 3.0
+
+    def test_duplicate_labels_disambiguated(self):
+        suite = ScenarioSuite(name="dup", lineups=("cubic", "cubic"))
+        names = [s.name for s in suite.expand()]
+        assert len(set(names)) == 2
+
+    def test_trace_axis(self):
+        suite = ScenarioSuite(name="tr", lineups=("cubic",),
+                              traces=(None, "fig1-step"))
+        plain, stepped = suite.expand()
+        assert plain.trace is None and stepped.trace == "fig1-step"
+        assert isinstance(stepped.build_network().trace, StepTrace)
