@@ -8,7 +8,8 @@ Every table/figure in the paper's §6 is regenerated from these pieces:
   fairness index, friendliness ratio, reward statistics.
 * :mod:`repro.eval.scenarios` -- declarative scenarios and suite grids.
 * :mod:`repro.eval.parallel` -- sharded suite execution + result cache.
-* :mod:`repro.eval.sweeps` -- the Fig. 5 parameter sweeps.
+* :mod:`repro.eval.sweeps` -- the Fig. 5 parameter sweeps and the
+  multi-bottleneck + churn grids beyond the paper's evaluation.
 * :mod:`repro.eval.gaussian` -- 1-sigma ellipses for Fig. 1(b).
 * :mod:`repro.eval.cdf` -- empirical CDFs (Figs. 6, 12, 16, 18).
 * :mod:`repro.eval.overhead` -- control-loop CPU cost (Fig. 17).
@@ -22,6 +23,7 @@ from repro.eval.runner import (
 )
 from repro.eval.scenarios import (
     AgentRef,
+    ChurnSchedule,
     FlowDef,
     Scenario,
     ScenarioSuite,
@@ -31,6 +33,7 @@ from repro.eval.parallel import (
     ParallelRunner,
     ResultCache,
     ResultTable,
+    ScenarioError,
     ScenarioResult,
     SuiteResult,
 )
@@ -42,7 +45,11 @@ from repro.eval.metrics import (
 )
 from repro.eval.gaussian import sigma_ellipse
 from repro.eval.cdf import empirical_cdf
-from repro.eval.sweeps import SweepResult, sweep_schemes
+from repro.eval.sweeps import (
+    SweepResult,
+    multihop_churn_suite,
+    sweep_schemes,
+)
 
 __all__ = [
     "EvalNetwork",
@@ -57,7 +64,9 @@ __all__ = [
     "empirical_cdf",
     "SweepResult",
     "sweep_schemes",
+    "multihop_churn_suite",
     "AgentRef",
+    "ChurnSchedule",
     "FlowDef",
     "Scenario",
     "ScenarioSuite",
@@ -65,6 +74,7 @@ __all__ = [
     "ParallelRunner",
     "ResultCache",
     "ResultTable",
+    "ScenarioError",
     "ScenarioResult",
     "SuiteResult",
 ]

@@ -35,8 +35,23 @@ from repro.eval.scenarios import (
 from repro.netsim.network import FlowRecord
 from repro.netsim.sender import MonitorIntervalStats
 
-__all__ = ["ParallelRunner", "ResultCache", "ResultTable", "ScenarioResult",
-           "SuiteResult"]
+__all__ = ["ParallelRunner", "ResultCache", "ResultTable", "ScenarioError",
+           "ScenarioResult", "SuiteResult"]
+
+
+class ScenarioError(RuntimeError):
+    """A scenario failed inside a suite run.
+
+    Carries the scenario name so a 200-cell sweep's failure points at
+    the offending cell, not just a worker traceback.
+    """
+
+    def __init__(self, scenario_name: str, detail: str = ""):
+        self.scenario_name = scenario_name
+        message = f"scenario {scenario_name!r} failed"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
 
 #: Per-monitor-interval fields persisted in the result cache.
 _MI_FIELDS = ("flow_id", "start", "end", "sent", "acked", "lost", "mean_rtt",
@@ -123,8 +138,25 @@ class ScenarioResult:
 
     def rows(self) -> list[dict]:
         net = self.scenario.network
+        topo = self.scenario.topology
         rows = []
         for i, (flow, record) in enumerate(zip(self.scenario.flows, self.records)):
+            if topo is None:
+                path = flow.path
+                bandwidth = net.bandwidth_mbps
+                rtt_ms = 2.0 * net.one_way_ms
+                loss = net.loss_rate
+                buffer = (net.queue_packets if net.queue_packets is not None
+                          else net.buffer_bdp)
+            else:
+                # The single-link axes are superseded; report what the
+                # flow's *path* actually saw.  Buffers are per link
+                # (no scalar truth), so that column stays empty.
+                path = topo.path(flow.path).name
+                bandwidth = topo.path_bottleneck_mbps(path)
+                rtt_ms = 1000.0 * topo.path_rtt_s(path)
+                loss = topo.path_loss_rate(path)
+                buffer = None
             rows.append({
                 "suite": self.scenario.suite,
                 "scenario": self.scenario.name,
@@ -132,12 +164,15 @@ class ScenarioResult:
                 "flow": i,
                 "label": flow.display_label(),
                 "scheme": flow.scheme,
-                "bandwidth_mbps": net.bandwidth_mbps,
-                "rtt_ms": 2.0 * net.one_way_ms,
-                "loss": net.loss_rate,
-                "buffer": (net.queue_packets if net.queue_packets is not None
-                           else net.buffer_bdp),
+                "bandwidth_mbps": bandwidth,
+                "rtt_ms": rtt_ms,
+                "loss": loss,
+                "buffer": buffer,
                 "trace": self.scenario.trace,
+                "topology": topo.name if topo is not None else None,
+                "path": path,
+                "churn": (self.scenario.churn.label()
+                          if self.scenario.churn is not None else None),
                 "seed": self.scenario.seed,
                 "duration": self.scenario.duration,
                 "throughput_pps": record.mean_throughput_pps,
@@ -250,8 +285,18 @@ def _execute(scenario: Scenario) -> tuple[list[FlowRecord], float]:
 _FORK_SCENARIOS: list[Scenario] = []
 
 
-def _execute_staged(index: int) -> tuple[list[FlowRecord], float]:
-    return _execute(_FORK_SCENARIOS[index])
+def _execute_staged(index: int):
+    """Worker entry point: ``(index, payload, error)``.
+
+    Failures come back as strings instead of raised exceptions so the
+    parent can decide (per its ``early_abort`` setting) whether one bad
+    cell cancels the rest of the suite -- and so unpicklable exception
+    objects never wedge the result pipe.
+    """
+    try:
+        return index, _execute(_FORK_SCENARIOS[index]), None
+    except Exception as exc:  # noqa: BLE001 -- reported to the parent
+        return index, None, f"{type(exc).__name__}: {exc}"
 
 
 class ParallelRunner:
@@ -263,14 +308,22 @@ class ParallelRunner:
     call *after* agent references resolve in the parent, so children
     inherit the loaded models through copy-on-write memory instead of
     re-reading (or worse, re-training) them.
+
+    A failing scenario raises :class:`ScenarioError` naming the cell.
+    With ``early_abort=True`` the first failure cancels outstanding
+    shards immediately (the pool is torn down, queued cells never
+    start); otherwise the rest of the suite completes -- and is cached
+    -- before the error is raised.
     """
 
     def __init__(self, n_workers: int | None = None,
-                 cache_dir: str | Path | None = None, use_cache: bool = True):
+                 cache_dir: str | Path | None = None, use_cache: bool = True,
+                 early_abort: bool = False):
         if n_workers is None:
             n_workers = max(1, min(mp.cpu_count(), 8))
         self.n_workers = int(n_workers)
         self.cache = ResultCache(cache_dir) if use_cache else None
+        self.early_abort = bool(early_abort)
 
     def _warm_agents(self, scenarios: list[Scenario]) -> None:
         refs = {flow.agent for s in scenarios for flow in s.flows
@@ -300,23 +353,50 @@ class ParallelRunner:
 
         if pending:
             self._warm_agents([s for _, s, _ in pending])
+            failures: list[tuple[int, str, str]] = []
+
+            def record_result(position: int, payload, error: str | None):
+                idx, scenario, fingerprint = pending[position]
+                if error is not None:
+                    failures.append((position, scenario.name, error))
+                    if self.early_abort:
+                        # Raising inside the pool's with-block terminates
+                        # it, cancelling every shard not yet started.
+                        raise ScenarioError(scenario.name, error)
+                    return
+                records, elapsed = payload
+                results[idx] = ScenarioResult(scenario, records, elapsed=elapsed)
+                if self.cache:
+                    self.cache.put(fingerprint, scenario.name, records)
+
             if self.n_workers > 1 and len(pending) > 1:
                 global _FORK_SCENARIOS
                 _FORK_SCENARIOS = [s for _, s, _ in pending]
                 try:
                     ctx = mp.get_context("fork")
                     with ctx.Pool(processes=min(self.n_workers, len(pending))) as pool:
-                        executed = pool.map(_execute_staged, range(len(pending)),
-                                            chunksize=1)
+                        # Unordered so completed cells cache (and abort
+                        # checks run) as they land, not in shard order.
+                        for position, payload, error in pool.imap_unordered(
+                                _execute_staged, range(len(pending)),
+                                chunksize=1):
+                            record_result(position, payload, error)
                 finally:
                     _FORK_SCENARIOS = []
             else:
-                executed = [_execute(s) for _, s, _ in pending]
-            for (idx, scenario, fingerprint), (records, elapsed) in zip(
-                    pending, executed):
-                results[idx] = ScenarioResult(scenario, records, elapsed=elapsed)
-                if self.cache:
-                    self.cache.put(fingerprint, scenario.name, records)
+                for position, (_, scenario, _) in enumerate(pending):
+                    try:
+                        payload, error = _execute(scenario), None
+                    except Exception as exc:  # noqa: BLE001
+                        payload, error = None, f"{type(exc).__name__}: {exc}"
+                    record_result(position, payload, error)
+
+            if failures:
+                failures.sort()
+                _, name, error = failures[0]
+                detail = error if len(failures) == 1 else (
+                    f"{error} (+{len(failures) - 1} more failed cells)")
+                raise ScenarioError(name, detail)
 
         ordered = [results[idx] for idx in range(len(scenarios))]
         return SuiteResult(results=ordered, elapsed=time.perf_counter() - t0)

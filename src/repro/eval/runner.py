@@ -26,6 +26,7 @@ from repro.baselines import (
 from repro.core.agent import MoccAgent, MoccController
 from repro.netsim.link import Link
 from repro.netsim.network import FlowRecord, FlowSpec, Simulation
+from repro.netsim.topology import MIN_QUEUE_PACKETS
 from repro.netsim.traces import BandwidthTrace, ConstantTrace, mbps_to_pps
 
 __all__ = ["EvalNetwork", "scheme_factory", "run_scheme", "run_competition"]
@@ -60,7 +61,7 @@ class EvalNetwork:
         if self.queue_packets is not None:
             return self.queue_packets
         bdp = self.bottleneck_pps * self.base_rtt
-        return max(int(round(self.buffer_bdp * bdp)), 4)
+        return max(int(round(self.buffer_bdp * bdp)), MIN_QUEUE_PACKETS)
 
     def build_link(self, seed: int = 0) -> Link:
         trace = self.trace or ConstantTrace(self.bottleneck_pps)

@@ -9,13 +9,18 @@ experiments *declare* what to run:
   the :mod:`repro.models.zoo` cache (process workers resolve it
   locally instead of receiving a closure);
 * :class:`FlowDef` -- one flow: scheme name, objective weights, agent,
-  start/stop times;
-* :class:`Scenario` -- a concrete experiment: network + optional named
-  trace + flow line-up + duration + seed, with a content
+  start/stop times, and (for multi-bottleneck topologies) the named
+  path it traverses;
+* :class:`ChurnSchedule` -- declarative flow churn: staggered
+  arrivals/departures and on/off windows rewritten onto a line-up's
+  ``start``/``stop`` fields;
+* :class:`Scenario` -- a concrete experiment: network (or a
+  :class:`~repro.netsim.topology.TopologySpec`) + optional named trace
+  + flow line-up + duration + seed, with a content
   :meth:`Scenario.fingerprint` for result caching;
 * :class:`ScenarioSuite` -- a named grid over bandwidth, RTT, loss,
-  buffer, trace and scheme line-ups whose :meth:`ScenarioSuite.expand`
-  yields the concrete scenarios.
+  buffer, trace, topology, churn and scheme line-ups whose
+  :meth:`ScenarioSuite.expand` yields the concrete scenarios.
 
 :mod:`repro.eval.parallel` executes suites across OS processes and
 memoizes finished scenarios on disk keyed by the fingerprint.
@@ -32,14 +37,16 @@ from pathlib import Path
 import numpy as np
 
 from repro.eval.runner import EvalNetwork, run_competition, scheme_factory
-from repro.netsim.network import FlowRecord
+from repro.netsim.network import FlowRecord, FlowSpec, Simulation
+from repro.netsim.topology import TopologySpec
 from repro.netsim.traces import make_trace
 
-__all__ = ["AgentRef", "FlowDef", "Scenario", "ScenarioSuite", "run_scenario"]
+__all__ = ["AgentRef", "ChurnSchedule", "FlowDef", "Scenario", "ScenarioSuite",
+           "run_scenario"]
 
 #: Bumped whenever scenario execution changes in a way that invalidates
 #: previously cached results.
-SCENARIO_CACHE_VERSION = "v1"
+SCENARIO_CACHE_VERSION = "v2"
 
 
 def _simulation_code_digest() -> str:
@@ -155,8 +162,11 @@ class FlowDef:
     schemes); ``agent`` is an :class:`AgentRef` or a live
     :class:`~repro.core.agent.MoccAgent` for the learning-based
     schemes.  ``rate_frac`` overrides the initial sending rate as a
-    fraction of the bottleneck capacity; ``seed`` overrides the
-    controller seed (defaults to the scenario seed).
+    fraction of the bottleneck capacity (of the flow's own path for
+    topology scenarios); ``seed`` overrides the controller seed
+    (defaults to the scenario seed); ``path`` names the topology path
+    the flow traverses (topology scenarios only; ``None`` = the
+    topology's default path).
     """
 
     scheme: str
@@ -167,6 +177,7 @@ class FlowDef:
     seed: int | None = None
     rate_frac: float | None = None
     label: str = ""
+    path: str | None = None
 
     def display_label(self) -> str:
         return self.label or self.scheme
@@ -176,7 +187,7 @@ class FlowDef:
             f"{float(w):.8f}" for w in self.weights]
         return [self.scheme.lower(), weights, _agent_signature(self.agent),
                 float(self.start), float(self.stop),
-                self.seed, self.rate_frac]
+                self.seed, self.rate_frac, self.path]
 
     @staticmethod
     def coerce(flow) -> "FlowDef":
@@ -200,6 +211,97 @@ def _trace_signature(trace) -> list | str | None:
     return sig
 
 
+def _topology_signature(spec: TopologySpec | None) -> list | None:
+    """Canonical content of a topology spec (for fingerprints).
+
+    The spec's display ``name`` is excluded (renames keep their cache
+    entries); named traces on links are hashed by the content their
+    registry factory currently produces, mirroring scenario-level
+    traces.
+    """
+    if spec is None:
+        return None
+    links = []
+    for ld in spec.links:
+        entry: list = [ld.name, ld.bandwidth_mbps, ld.delay_ms, ld.buffer_bdp,
+                       ld.queue_packets, ld.loss_rate, ld.trace]
+        if ld.trace is not None:
+            entry.append(_trace_signature(make_trace(ld.trace)))
+        links.append(entry)
+    paths = [[p.name, list(p.links), p.return_delay_ms] for p in spec.paths]
+    return [links, paths, spec.default_path]
+
+
+@dataclass(frozen=True)
+class ChurnSchedule:
+    """Declarative flow churn: who is active when.
+
+    Applied to a line-up at scenario construction, rewriting each
+    flow's ``start``/``stop``.  Kinds:
+
+    * ``"staggered"`` -- flow ``i`` arrives at ``offset + i*gap`` and
+      stays (the Fig. 11 arrival pattern as a reusable axis);
+    * ``"departures"`` -- every flow starts at ``offset``; flow ``i``
+      leaves at ``duration - i*gap`` (later flows leave earlier);
+    * ``"on-off"`` -- flow ``i`` is active only in
+      ``[offset + i*gap, offset + i*gap + on_time)`` (``on_time``
+      defaults to ``gap``: back-to-back sessions).
+
+    ``skip`` exempts the first ``skip`` flows of the line-up -- e.g. a
+    persistent through flow on a parking lot while the cross traffic
+    churns around it.
+    """
+
+    kind: str = "staggered"
+    gap: float = 2.0
+    offset: float = 0.0
+    on_time: float | None = None
+    skip: int = 0
+
+    def __post_init__(self):
+        if self.kind not in ("staggered", "departures", "on-off"):
+            raise ValueError(f"unknown churn kind {self.kind!r}")
+        if self.gap < 0 or self.offset < 0 or self.skip < 0:
+            raise ValueError("gap, offset and skip must be non-negative")
+        if self.on_time is not None and self.on_time <= 0:
+            raise ValueError("on_time must be positive")
+
+    def label(self) -> str:
+        bits = [self.kind, f"g{self.gap:g}"]
+        if self.offset:
+            bits.append(f"o{self.offset:g}")
+        if self.on_time is not None:
+            bits.append(f"on{self.on_time:g}")
+        if self.skip:
+            bits.append(f"s{self.skip}")
+        return "-".join(bits)
+
+    def windows(self, n: int, duration: float) -> list:
+        """``(start, stop)`` for each of ``n`` churned flows."""
+        out = []
+        for i in range(n):
+            if self.kind == "staggered":
+                start, stop = self.offset + i * self.gap, float("inf")
+            elif self.kind == "departures":
+                start, stop = self.offset, duration - i * self.gap
+            else:  # on-off
+                start = self.offset + i * self.gap
+                on = self.on_time if self.on_time is not None else self.gap
+                stop = start + on
+            start = min(max(start, 0.0), duration)
+            out.append((start, max(stop, start)))
+        return out
+
+    def apply(self, flows: tuple, duration: float) -> tuple:
+        """Rewrite start/stop on every flow past the first ``skip``."""
+        flows = tuple(flows)
+        churned = flows[self.skip:]
+        windows = self.windows(len(churned), duration)
+        return flows[:self.skip] + tuple(
+            replace(flow, start=start, stop=stop)
+            for flow, (start, stop) in zip(churned, windows))
+
+
 @dataclass(frozen=True)
 class Scenario:
     """A concrete, picklable, fingerprintable experiment."""
@@ -213,6 +315,12 @@ class Scenario:
     #: Name of a registered trace (see :func:`repro.netsim.traces.register_trace`)
     #: applied on top of ``network``; keeps the scenario declarative.
     trace: str | None = None
+    #: Multi-bottleneck topology; when set it supersedes the
+    #: single-link ``network`` (which still contributes packet size)
+    #: and flows may name the paths they traverse.
+    topology: TopologySpec | None = None
+    #: Churn schedule applied to the flow line-up at construction.
+    churn: ChurnSchedule | None = None
     suite: str = ""
     #: Display label of the line-up this scenario came from (set by
     #: :meth:`ScenarioSuite.expand`); lets consumers key results
@@ -220,12 +328,24 @@ class Scenario:
     lineup: str = ""
 
     def __post_init__(self):
-        object.__setattr__(self, "flows",
-                           tuple(FlowDef.coerce(f) for f in self.flows))
-        if not self.flows:
+        flows = tuple(FlowDef.coerce(f) for f in self.flows)
+        if not flows:
             raise ValueError("a scenario needs at least one flow")
+        if self.churn is not None:
+            flows = self.churn.apply(flows, self.duration)
+        object.__setattr__(self, "flows", flows)
         if self.trace is not None and self.network.trace is not None:
             raise ValueError("give either a named trace or network.trace, not both")
+        if self.topology is not None:
+            if self.trace is not None or self.network.trace is not None:
+                raise ValueError(
+                    "topology links carry their own traces; drop the "
+                    "scenario-level trace")
+            for flow in flows:
+                if flow.path is not None:
+                    self.topology.path(flow.path)  # raises on unknown path
+        elif any(flow.path is not None for flow in flows):
+            raise ValueError("flow paths need a topology")
 
     def build_network(self) -> EvalNetwork:
         if self.trace is None:
@@ -235,21 +355,31 @@ class Scenario:
     def fingerprint(self) -> str:
         """Content hash identifying the scenario's *results*.
 
-        The display name and suite are deliberately excluded so renames
-        keep their cache entries.  A named trace is hashed by the
-        *content* its registry factory currently produces, not just the
-        name, so re-registering a trace invalidates its cached results.
+        The display name, suite, and churn label are deliberately
+        excluded so renames keep their cache entries (a churn schedule
+        is fully captured by the start/stop it wrote onto the flows).
+        A named trace -- scenario-level or on a topology link -- is
+        hashed by the *content* its registry factory currently
+        produces, not just the name, so re-registering a trace
+        invalidates its cached results.  With a topology, the
+        superseded single-link network axes are excluded too: only
+        packet size still shapes results.
         """
         net = self.network
         named_trace = None if self.trace is None else _trace_signature(
             make_trace(self.trace))
+        if self.topology is None:
+            network_sig = [net.bandwidth_mbps, net.one_way_ms, net.buffer_bdp,
+                           net.queue_packets, net.loss_rate, net.packet_bytes,
+                           _trace_signature(net.trace)]
+        else:
+            network_sig = ["topology", net.packet_bytes]
         payload = {
             "version": SCENARIO_CACHE_VERSION,
             "code": _code_digest(),
-            "network": [net.bandwidth_mbps, net.one_way_ms, net.buffer_bdp,
-                        net.queue_packets, net.loss_rate, net.packet_bytes,
-                        _trace_signature(net.trace)],
+            "network": network_sig,
             "trace": named_trace,
+            "topology": _topology_signature(self.topology),
             "flows": [f.signature() for f in self.flows],
             "duration": float(self.duration),
             "seed": int(self.seed),
@@ -262,6 +392,28 @@ class Scenario:
         return run_scenario(self)
 
 
+def _controller_kwargs(flow: FlowDef, agent) -> dict:
+    key = flow.scheme.lower()
+    if key == "mocc":
+        return {"mocc_agent": agent, "mocc_weights": flow.weights}
+    if key.startswith("aurora"):
+        return {"aurora_agent": agent}
+    if key == "orca":
+        return {"orca_agent": agent}
+    return {}
+
+
+def _build_controller(flow: FlowDef, network: EvalNetwork, seed: int):
+    """One sized controller for ``flow`` on a (possibly per-path) network."""
+    agent = _resolve_agent(flow.agent)
+    initial_rate = None
+    if flow.rate_frac is not None:
+        initial_rate = flow.rate_frac * network.bottleneck_pps
+    return scheme_factory(flow.scheme, network, seed=seed,
+                          initial_rate=initial_rate,
+                          **_controller_kwargs(flow, agent))
+
+
 def run_scenario(scenario: Scenario) -> list[FlowRecord]:
     """Execute one scenario serially; the runner's worker entry point.
 
@@ -269,29 +421,47 @@ def run_scenario(scenario: Scenario) -> list[FlowRecord]:
     ``run_competition`` loops the benchmarks used to contain: same
     seeds, same event streams, identical records.
     """
+    if scenario.topology is not None:
+        return _run_topology_scenario(scenario)
     network = scenario.build_network()
     controllers, starts, stops = [], [], []
     for flow in scenario.flows:
         seed = scenario.seed if flow.seed is None else flow.seed
-        agent = _resolve_agent(flow.agent)
-        kwargs = {}
-        key = flow.scheme.lower()
-        if key == "mocc":
-            kwargs = {"mocc_agent": agent, "mocc_weights": flow.weights}
-        elif key.startswith("aurora"):
-            kwargs = {"aurora_agent": agent}
-        elif key == "orca":
-            kwargs = {"orca_agent": agent}
-        initial_rate = None
-        if flow.rate_frac is not None:
-            initial_rate = flow.rate_frac * network.bottleneck_pps
-        controllers.append(scheme_factory(flow.scheme, network, seed=seed,
-                                          initial_rate=initial_rate, **kwargs))
+        controllers.append(_build_controller(flow, network, seed))
         starts.append(flow.start)
         stops.append(flow.stop)
     return run_competition(controllers, network, duration=scenario.duration,
                            start_times=starts, stop_times=stops,
                            seed=scenario.seed, mi_duration=scenario.mi_duration)
+
+
+def _run_topology_scenario(scenario: Scenario) -> list[FlowRecord]:
+    """Execute a multi-bottleneck scenario over its built topology.
+
+    Controllers are sized per flow from the *path* the flow traverses
+    (nominal bottleneck capacity and propagation delay), mirroring how
+    single-link scenarios size from their ``EvalNetwork``.
+    """
+    spec = scenario.topology
+    packet_bytes = scenario.network.packet_bytes
+    topology = spec.build(packet_bytes=packet_bytes,
+                          seed=scenario.seed * 31 + 17)
+    flow_specs = []
+    for flow in scenario.flows:
+        seed = scenario.seed if flow.seed is None else flow.seed
+        path = spec.path(flow.path)
+        path_network = EvalNetwork(
+            bandwidth_mbps=spec.path_bottleneck_mbps(path.name),
+            one_way_ms=spec.path_one_way_ms(path.name),
+            packet_bytes=packet_bytes)
+        controller = _build_controller(flow, path_network, seed)
+        flow_specs.append(FlowSpec(
+            controller=controller, start_time=flow.start, stop_time=flow.stop,
+            packet_bytes=packet_bytes, mi_duration=scenario.mi_duration,
+            path=flow.path))
+    sim = Simulation(topology, flow_specs, duration=scenario.duration,
+                     seed=scenario.seed)
+    return sim.run_all()
 
 
 def _coerce_lineups(lineups) -> tuple:
@@ -331,7 +501,13 @@ class ScenarioSuite:
     * ``buffers`` -- queue size; ``float`` entries are multiples of the
       BDP, ``int`` entries absolute packets (matching Fig. 5's axes);
     * ``traces`` -- names from the trace registry (``None`` = constant
-      bandwidth).
+      bandwidth);
+    * ``topologies`` -- :class:`~repro.netsim.topology.TopologySpec`
+      entries (``None`` = the single-bottleneck network built from the
+      axes above; a spec supersedes bandwidth/RTT/loss/buffer/trace for
+      that cell);
+    * ``churns`` -- :class:`ChurnSchedule` entries rewriting the
+      line-up's start/stop times (``None`` = the line-up's own times).
 
     ``expand()`` returns the cross product as concrete
     :class:`Scenario` objects with stable, human-readable names.
@@ -344,6 +520,8 @@ class ScenarioSuite:
     losses: tuple = (0.0,)
     buffers: tuple = (1.0,)
     traces: tuple = (None,)
+    topologies: tuple = (None,)
+    churns: tuple = (None,)
     seeds: tuple = (0,)
     duration: float = 20.0
     mi_duration: float | None = None
@@ -352,13 +530,13 @@ class ScenarioSuite:
     def __post_init__(self):
         object.__setattr__(self, "lineups", _coerce_lineups(self.lineups))
         for axis in ("bandwidths_mbps", "rtts_ms", "losses", "buffers",
-                     "traces", "seeds"):
+                     "traces", "topologies", "churns", "seeds"):
             object.__setattr__(self, axis, tuple(getattr(self, axis)))
 
     def __len__(self) -> int:
         return (len(self.lineups) * len(self.bandwidths_mbps) * len(self.rtts_ms)
                 * len(self.losses) * len(self.buffers) * len(self.traces)
-                * len(self.seeds))
+                * len(self.topologies) * len(self.churns) * len(self.seeds))
 
     def _network(self, bandwidth, rtt, loss, buffer, trace) -> EvalNetwork:
         is_packets = isinstance(buffer, (int, np.integer)) and not isinstance(buffer, bool)
@@ -372,21 +550,29 @@ class ScenarioSuite:
         scenarios = []
         axes = [("bw", self.bandwidths_mbps), ("rtt", self.rtts_ms),
                 ("loss", self.losses), ("buf", self.buffers),
-                ("trace", self.traces), ("seed", self.seeds)]
+                ("trace", self.traces), ("topo", self.topologies),
+                ("churn", self.churns), ("seed", self.seeds)]
         varying = {label for label, values in axes if len(values) > 1}
-        for (label, flows), bw, rtt, loss, buf, trace, seed in product(
+        for (label, flows), bw, rtt, loss, buf, trace, topo, churn, seed in product(
                 self.lineups, self.bandwidths_mbps, self.rtts_ms, self.losses,
-                self.buffers, self.traces, self.seeds):
+                self.buffers, self.traces, self.topologies, self.churns,
+                self.seeds):
             parts = [label]
             values = {"bw": bw, "rtt": rtt, "loss": loss, "buf": buf,
-                      "trace": trace, "seed": seed}
-            for axis in ("bw", "rtt", "loss", "buf", "trace", "seed"):
+                      "trace": trace,
+                      "topo": topo.name if topo is not None else None,
+                      "churn": churn.label() if churn is not None else None,
+                      "seed": seed}
+            for axis in ("bw", "rtt", "loss", "buf", "trace", "topo",
+                         "churn", "seed"):
                 if axis in varying:
                     parts.append(f"{axis}={values[axis]}")
             scenarios.append(Scenario(
                 name="/".join([self.name] + parts),
                 network=self._network(bw, rtt, loss, buf, trace),
                 flows=flows, duration=self.duration, seed=int(seed),
-                mi_duration=self.mi_duration, trace=trace, suite=self.name,
+                mi_duration=self.mi_duration,
+                trace=None if topo is not None else trace,
+                topology=topo, churn=churn, suite=self.name,
                 lineup=label))
         return scenarios

@@ -12,22 +12,33 @@ grids and executed through a :class:`~repro.eval.parallel.ParallelRunner`,
 so they shard across cores and memoize per-scenario results; the
 default runner (serial, uncached) reproduces the historical behaviour
 exactly.
+
+Beyond the paper's single-bottleneck grids, :func:`multihop_churn_suite`
+declares parking-lot (multi-bottleneck) contention with churning cross
+traffic over the ``topologies``/``churns`` axes -- the workload family
+the paper's evaluation omits.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
 from repro.eval.parallel import ParallelRunner
 from repro.eval.runner import EvalNetwork
-from repro.eval.scenarios import FlowDef, ScenarioSuite
+from repro.eval.scenarios import ChurnSchedule, FlowDef, ScenarioSuite
+from repro.netsim.topology import parking_lot
 
-__all__ = ["SweepResult", "sweep_suite", "sweep_schemes", "FIG5_BANDWIDTHS",
-           "FIG5_LATENCIES", "FIG5_LOSSES", "FIG5_BUFFERS",
+__all__ = ["SweepResult", "sweep_suite", "sweep_schemes",
+           "multihop_churn_suite", "multihop_bench_suites",
+           "FIG5_BANDWIDTHS", "FIG5_LATENCIES", "FIG5_LOSSES", "FIG5_BUFFERS",
            "FIG5_BENCH_SCHEMES", "FIG5_BENCH_SWEEPS", "FIG5_BENCH_BASE",
-           "FIG5_BENCH_DURATION", "FIG5_BENCH_SEED"]
+           "FIG5_BENCH_DURATION", "FIG5_BENCH_SEED",
+           "MULTIHOP_BENCH_SCHEMES", "MULTIHOP_BENCH_HOPS",
+           "MULTIHOP_BENCH_CHURNS", "MULTIHOP_BENCH_BANDWIDTH",
+           "MULTIHOP_BENCH_DELAY_MS", "MULTIHOP_BENCH_DURATION",
+           "MULTIHOP_BENCH_SEED"]
 
 #: The x-axes of Fig. 5 (subsampled where the paper's grid is dense).
 FIG5_BANDWIDTHS = (10.0, 20.0, 30.0, 40.0, 50.0)
@@ -49,6 +60,21 @@ FIG5_BENCH_SWEEPS = (
 FIG5_BENCH_BASE = EvalNetwork(bandwidth_mbps=20.0, one_way_ms=20.0, buffer_bdp=1.0)
 FIG5_BENCH_DURATION = 12.0
 FIG5_BENCH_SEED = 2
+
+#: The grid benchmarks/bench_multihop_churn.py runs: heuristic through
+#: schemes on 2- and 3-bottleneck parking lots with churning CUBIC
+#: cross traffic (no trained models, so the grid is CI-friendly).
+MULTIHOP_BENCH_SCHEMES = ("cubic", "bbr", "copa", "vivace")
+MULTIHOP_BENCH_HOPS = (2, 3)
+MULTIHOP_BENCH_CHURNS = (
+    None,
+    ChurnSchedule("staggered", gap=4.0, skip=1),
+    ChurnSchedule("on-off", gap=4.0, on_time=6.0, skip=1),
+)
+MULTIHOP_BENCH_BANDWIDTH = 16.0
+MULTIHOP_BENCH_DELAY_MS = 8.0
+MULTIHOP_BENCH_DURATION = 14.0
+MULTIHOP_BENCH_SEED = 3
 
 
 @dataclass
@@ -162,3 +188,51 @@ def sweep_schemes(schemes, parameter: str, values, base: EvalNetwork | None = No
     return SweepResult(parameter=parameter, values=values, schemes=schemes,
                        utilization=utilization, latency_ratio=latency_ratio,
                        loss_rate=loss_rate)
+
+
+def multihop_churn_suite(schemes, hops: int = 3, churns=(None,),
+                         bandwidth_mbps=MULTIHOP_BENCH_BANDWIDTH,
+                         delay_ms=MULTIHOP_BENCH_DELAY_MS,
+                         cross_scheme: str = "cubic",
+                         duration: float = MULTIHOP_BENCH_DURATION,
+                         seeds=(MULTIHOP_BENCH_SEED,),
+                         controller_kwargs: dict | None = None,
+                         trace: str | None = None,
+                         name: str | None = None) -> ScenarioSuite:
+    """Parking-lot contention with churning cross traffic as a grid.
+
+    Each line-up is one ``scheme`` on the ``through`` path (all ``hops``
+    bottlenecks) against one ``cross_scheme`` flow per hop; the
+    ``churns`` axis drives cross-traffic arrival/departure schedules
+    (``skip=1`` entries leave the through flow persistent).  Per-hop
+    parameters accept scalars or length-``hops`` sequences, so uneven
+    bottlenecks and per-hop traces (e.g. ``"leo-handover"``) drop in.
+    """
+    controller_kwargs = controller_kwargs or {}
+    topo = parking_lot(hops, bandwidth_mbps=bandwidth_mbps, delay_ms=delay_ms,
+                       trace=trace)
+    lineups = {}
+    for scheme in schemes:
+        through = replace(_flow_for(scheme, controller_kwargs),
+                          path="through", label=f"{scheme}-through")
+        cross = tuple(FlowDef(cross_scheme, path=f"cross{i}", label=f"cross{i}")
+                      for i in range(hops))
+        lineups[f"{scheme}-through"] = (through,) + cross
+    return ScenarioSuite(name=name or f"multihop{hops}", lineups=lineups,
+                         topologies=(topo,), churns=tuple(churns),
+                         duration=duration, seeds=tuple(seeds))
+
+
+def multihop_bench_suites(schemes=MULTIHOP_BENCH_SCHEMES,
+                          hops=MULTIHOP_BENCH_HOPS,
+                          churns=MULTIHOP_BENCH_CHURNS,
+                          controller_kwargs: dict | None = None) -> list:
+    """One suite per hop count -- the bench_multihop_churn.py grid.
+
+    Split by hop count because each hop count is a different topology
+    with its own ``cross{i}`` path set (a single topologies axis would
+    leave 3-hop line-ups referencing paths a 2-hop spec lacks).
+    """
+    return [multihop_churn_suite(schemes, hops=h, churns=churns,
+                                 controller_kwargs=controller_kwargs)
+            for h in hops]

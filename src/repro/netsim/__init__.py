@@ -14,8 +14,11 @@ Layers, bottom-up:
 * :mod:`repro.netsim.link` -- the bottleneck link model.
 * :mod:`repro.netsim.sender` -- rate-paced and window (ack-clocked)
   senders, monitor-interval statistics.
-* :mod:`repro.netsim.network` -- the event-driven simulation engine and
-  multi-flow topologies (single bottleneck / dumbbell).
+* :mod:`repro.netsim.topology` -- named links + per-flow paths
+  (dumbbell, N-hop chain, parking lot) and their declarative,
+  fingerprintable specs.
+* :mod:`repro.netsim.network` -- the event-driven simulation engine
+  routing any number of flows over a topology.
 * :mod:`repro.netsim.history` -- the eta-length statistics history that
   forms the RL state (§4.1).
 * :mod:`repro.netsim.env` -- gym-style environments:
@@ -35,6 +38,16 @@ from repro.netsim.traces import (
 from repro.netsim.packet import Packet
 from repro.netsim.link import Link
 from repro.netsim.sender import MonitorIntervalStats, Flow
+from repro.netsim.topology import (
+    LinkDef,
+    Path,
+    PathDef,
+    Topology,
+    TopologySpec,
+    chain,
+    dumbbell,
+    parking_lot,
+)
 from repro.netsim.network import Simulation, FlowSpec, FlowRecord
 from repro.netsim.history import StatHistory
 from repro.netsim.env import CongestionControlEnv, MoccEnv, RewardComponents
@@ -51,6 +64,14 @@ __all__ = [
     "Link",
     "MonitorIntervalStats",
     "Flow",
+    "Path",
+    "Topology",
+    "LinkDef",
+    "PathDef",
+    "TopologySpec",
+    "chain",
+    "dumbbell",
+    "parking_lot",
     "Simulation",
     "FlowSpec",
     "FlowRecord",

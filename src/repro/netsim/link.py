@@ -54,11 +54,14 @@ class Link:
     rng:
         Random generator for loss draws (shared with the simulation for
         reproducibility).
+    name:
+        Optional label used by :class:`~repro.netsim.topology.Topology`
+        for path wiring and diagnostics.
     """
 
     def __init__(self, trace: BandwidthTrace | float, delay: float,
                  queue_size: int, loss_rate: float = 0.0,
-                 rng: np.random.Generator | None = None):
+                 rng: np.random.Generator | None = None, name: str = ""):
         if isinstance(trace, (int, float)):
             trace = ConstantTrace(float(trace))
         if delay < 0:
@@ -72,6 +75,7 @@ class Link:
         self.queue_size = int(queue_size)
         self.loss_rate = float(loss_rate)
         self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.name = name
         self.busy_until = 0.0
         # Counters for diagnostics/tests.
         self.delivered = 0

@@ -1,16 +1,19 @@
 """The discrete-event simulation engine and flow topologies.
 
-The engine advances a heap of timestamped events over one or more
-:class:`~repro.netsim.link.Link` objects shared by any number of flows.
-Single-bottleneck and dumbbell topologies (all the paper's experiments)
-are just flows sharing the same link list.
+The engine advances a heap of timestamped events over the links of a
+:class:`~repro.netsim.topology.Topology`.  Each flow follows a named
+*path* (an ordered link subset with its own return delay), so a single
+simulation can mix through traffic and cross traffic over different
+link subsets -- single-bottleneck dumbbells (all the paper's
+experiments) are just the one-link, one-path special case, and a plain
+``Link`` or link list is still accepted and promoted to that shape.
 
 Event kinds:
 
 * ``send``  -- a flow attempts to emit its next packet;
 * ``ack``   -- a delivered packet's acknowledgement reaches the sender;
-* ``loss``  -- the sender learns a packet was lost (about one RTT after
-  the drop, approximating duplicate-ack/timeout detection);
+* ``loss``  -- the sender learns a packet was lost (about one path RTT
+  after the drop, approximating duplicate-ack/timeout detection);
 * ``mi``    -- a flow's monitor-interval boundary.
 
 The engine supports incremental execution (``run(until=...)``) so the
@@ -27,12 +30,13 @@ import numpy as np
 from repro.netsim.link import Link
 from repro.netsim.packet import Packet
 from repro.netsim.sender import Controller, Flow, MonitorIntervalStats
+from repro.netsim.topology import Topology
 
 __all__ = ["FlowSpec", "FlowRecord", "Simulation"]
 
 #: Pacing-rate clamps (packets/second) applied when scheduling sends.
 MIN_RATE_PPS = 0.5
-#: Cap on rate relative to the bottleneck's maximum capacity.
+#: Cap on rate relative to the path bottleneck's maximum capacity.
 MAX_RATE_FACTOR = 8.0
 #: Fallback monitor-interval duration when a path has zero delay.
 MIN_MI_DURATION = 0.01
@@ -40,7 +44,12 @@ MIN_MI_DURATION = 0.01
 
 @dataclass
 class FlowSpec:
-    """Declarative description of one flow for :class:`Simulation`."""
+    """Declarative description of one flow for :class:`Simulation`.
+
+    ``path`` names the topology path the flow traverses; ``None`` uses
+    the topology's default path (the whole link list for the legacy
+    single-path constructor).
+    """
 
     controller: Controller
     start_time: float = 0.0
@@ -48,6 +57,7 @@ class FlowSpec:
     packet_bytes: int = 1500
     mi_duration: float | None = None
     keep_packets: bool = False
+    path: str | None = None
 
 
 @dataclass
@@ -73,13 +83,18 @@ class FlowRecord:
 
 
 class Simulation:
-    """Event-driven simulation of flows sharing a path of links."""
+    """Event-driven simulation of flows routed over a topology."""
 
-    def __init__(self, links: Link | list[Link], specs: list[FlowSpec],
+    def __init__(self, links: Link | list[Link] | Topology, specs: list[FlowSpec],
                  duration: float, seed: int = 0, jitter: float = 0.02):
-        self.links = [links] if isinstance(links, Link) else list(links)
-        if not self.links:
-            raise ValueError("need at least one link")
+        if isinstance(links, Topology):
+            self.topology = links
+        else:
+            link_list = [links] if isinstance(links, Link) else list(links)
+            if not link_list:
+                raise ValueError("need at least one link")
+            self.topology = Topology.single_path(link_list)
+        self.links = self.topology.all_links()
         self.duration = float(duration)
         self.jitter = float(jitter)
         self.rng = np.random.default_rng(seed)
@@ -87,20 +102,26 @@ class Simulation:
         self._heap: list[tuple[float, int, str, int, Packet | None]] = []
         self._seq = 0
 
-        self.base_rtt = 2.0 * sum(link.delay for link in self.links)
-        self._return_delay = sum(link.delay for link in self.links)
-        self._max_rate = MAX_RATE_FACTOR * min(
-            link.trace.max_bandwidth() for link in self.links)
+        #: Base RTT of the topology's default path -- the single-path
+        #: quantity legacy callers (gym envs, single-flow runners) read.
+        self.base_rtt = self.topology.path().base_rtt
 
         self.flows: list[Flow] = []
         for spec in specs:
+            path = self.topology.path(spec.path)
             flow = Flow(
                 flow_id=len(self.flows), controller=spec.controller,
                 packet_bytes=spec.packet_bytes, start_time=spec.start_time,
                 stop_time=min(spec.stop_time, duration),
                 mi_duration=spec.mi_duration, keep_packets=spec.keep_packets)
+            flow.path_name = path.name
+            flow.links = path.links
+            flow.base_rtt = path.base_rtt
+            flow.return_delay = path.return_delay
+            flow.max_rate = MAX_RATE_FACTOR * min(
+                link.trace.max_bandwidth() for link in path.links)
             if flow.mi_duration is None:
-                flow.mi_duration = max(self.base_rtt, MIN_MI_DURATION)
+                flow.mi_duration = max(flow.base_rtt, MIN_MI_DURATION)
             self.flows.append(flow)
             self._push(spec.start_time, "start", flow.flow_id, None)
 
@@ -139,6 +160,12 @@ class Simulation:
         for flow in self.flows:
             end = min(flow.stop_time, self.duration)
             if flow.started and (flow.mi_sent or flow.mi_acked or flow.mi_lost):
+                # Acks/losses for packets sent before the stop keep
+                # arriving (and being accounted) after ``stop_time``;
+                # close the final MI at the true last-event time so a
+                # churned flow's throughput is not inflated by a span
+                # clamped short of its contents.
+                end = min(max(end, flow.last_event_time), self.duration)
                 if end > flow.mi_start:
                     self._close_mi(flow, end)
 
@@ -163,12 +190,12 @@ class Simulation:
             self._emit_packet(flow)
             if flow.inflight < cwnd:
                 # Pace the remaining window over one smoothed RTT.
-                srtt = flow.srtt or max(self.base_rtt, MIN_MI_DURATION)
+                srtt = flow.srtt or max(flow.base_rtt, MIN_MI_DURATION)
                 gap = srtt / max(cwnd, 1.0)
                 self._schedule_send(flow, self.now + gap)
         else:
             rate = controller.pacing_rate(self.now)
-            rate = min(max(rate, MIN_RATE_PPS), self._max_rate)
+            rate = min(max(rate, MIN_RATE_PPS), flow.max_rate)
             cap = controller.inflight_cap(self.now)
             if cap is None or flow.inflight < cap:
                 self._emit_packet(flow)
@@ -195,27 +222,36 @@ class Simulation:
         cursor = self.now
         queue_delay = 0.0
         delivered = True
-        drop_kind = None
-        for link in self.links:
+        for hop, link in enumerate(flow.links):
             result = link.transmit(cursor)
             queue_delay += result.queue_delay
             if not result.delivered:
                 delivered = False
-                drop_kind = result.drop_kind
+                packet.dropped = True
+                packet.drop_kind = result.drop_kind
+                # The sender learns of the loss roughly when the gap
+                # would have been observed at the receiver plus the
+                # return delay.  A random drop happens on the wire, so
+                # ``depart_time`` already carries the normal queue +
+                # service + propagation timing of the dropping link; a
+                # buffer drop never occupies the queue, so charge the
+                # timing a surviving packet just behind it would see.
+                if result.drop_kind == "random":
+                    loss_cursor = result.depart_time
+                else:
+                    loss_cursor = cursor + result.queue_delay + link.delay
+                remaining = sum(l.delay for l in flow.links[hop + 1:])
+                notice = loss_cursor + remaining + flow.return_delay
+                self._push(notice, "loss", flow.flow_id, packet)
                 break
             cursor = result.depart_time
         packet.queue_delay = queue_delay
 
         if delivered:
             packet.arrival_time = cursor
-            ack_time = cursor + self._return_delay
+            ack_time = cursor + flow.return_delay
             packet.ack_time = ack_time
             self._push(ack_time, "ack", flow.flow_id, packet)
-        else:
-            packet.dropped = True
-            packet.drop_kind = drop_kind
-            notice = self.now + self.base_rtt + queue_delay
-            self._push(notice, "loss", flow.flow_id, packet)
 
     def _handle_ack(self, flow: Flow, packet: Packet) -> None:
         flow.note_ack(packet, self.now)
@@ -244,21 +280,22 @@ class Simulation:
         self._push(self.now + flow.mi_duration, "mi", flow.flow_id, None)
 
     def _close_mi(self, flow: Flow, now: float) -> None:
-        capacity = self._bottleneck_capacity(flow.mi_start, now)
+        capacity = self._bottleneck_capacity(flow, flow.mi_start, now)
         rate = self._effective_rate(flow)
-        stats = flow.finish_mi(now, capacity, self.base_rtt, rate)
+        stats = flow.finish_mi(now, capacity, flow.base_rtt, rate)
         flow.controller.on_mi(flow, stats, now)
 
     # --- helpers ----------------------------------------------------------------
 
-    def _bottleneck_capacity(self, t0: float, t1: float) -> float:
-        return min(link.trace.mean_bandwidth(t0, t1, samples=9) for link in self.links)
+    def _bottleneck_capacity(self, flow: Flow, t0: float, t1: float) -> float:
+        return min(link.trace.mean_bandwidth(t0, t1, samples=9)
+                   for link in flow.links)
 
     def _effective_rate(self, flow: Flow) -> float:
         controller = flow.controller
         if controller.kind == "rate":
             return controller.pacing_rate(self.now)
-        srtt = flow.srtt or max(self.base_rtt, MIN_MI_DURATION)
+        srtt = flow.srtt or max(flow.base_rtt, MIN_MI_DURATION)
         return controller.cwnd(self.now) / srtt
 
     def summary(self, flow_id: int) -> FlowRecord:
@@ -272,7 +309,7 @@ class Simulation:
             mean_throughput_mbps=thr_pps * flow.packet_bytes * 8 / 1e6,
             mean_utilization=flow.mean_utilization(),
             mean_rtt=flow.mean_rtt(),
-            base_rtt=self.base_rtt,
+            base_rtt=flow.base_rtt,
             loss_rate=flow.overall_loss_rate(),
             records=list(flow.records),
         )

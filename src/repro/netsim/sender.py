@@ -183,6 +183,21 @@ class Flow:
         self.started = False
         self.stopped = False
 
+        # Path assignment (set by the engine from the topology; the
+        # defaults describe a standalone flow outside any simulation).
+        self.path_name: str | None = None
+        self.links: tuple = ()
+        self.base_rtt = 0.0
+        self.return_delay = 0.0
+        self.max_rate = float("inf")
+
+        #: Time of the last accounting event (send/ack/loss).  The final
+        #: monitor interval closes at this time when acks straggle in
+        #: after ``stop_time`` -- clamping to ``stop_time`` while still
+        #: counting the late acks would inflate throughput/utilization
+        #: for churned flows.
+        self.last_event_time = start_time
+
         # Lifetime counters.
         self.total_sent = 0
         self.total_acked = 0
@@ -211,6 +226,7 @@ class Flow:
         self.total_sent += 1
         self.mi_sent += 1
         self.inflight += 1
+        self.last_event_time = max(self.last_event_time, packet.send_time)
         if self.keep_packets:
             self.packets.append(packet)
 
@@ -218,6 +234,7 @@ class Flow:
         self.total_acked += 1
         self.mi_acked += 1
         self.inflight = max(0, self.inflight - 1)
+        self.last_event_time = max(self.last_event_time, now)
         rtt = now - packet.send_time
         self.last_rtt = rtt
         self.srtt = rtt if self.srtt is None else 0.875 * self.srtt + 0.125 * rtt
@@ -229,6 +246,7 @@ class Flow:
         self.total_lost += 1
         self.mi_lost += 1
         self.inflight = max(0, self.inflight - 1)
+        self.last_event_time = max(self.last_event_time, now)
 
     # --- monitor intervals ---------------------------------------------------
 

@@ -1,0 +1,370 @@
+"""Multi-link topologies: named links, per-flow paths, and builders.
+
+The paper evaluates on single-bottleneck dumbbells, but online
+adaptation is most stressed by paths with *several* queues (DeepCC's
+multi-hop contention, the "parking lot" of the multi-path CC
+literature).  This module generalises the simulation substrate from
+"all flows share one link list" to a declarative topology:
+
+* :class:`Topology` -- live named :class:`~repro.netsim.link.Link`
+  objects plus named paths (ordered link subsets with a return delay);
+  :class:`~repro.netsim.network.Simulation` consumes it directly, so
+  different flows traverse different link subsets with per-flow base
+  RTTs.
+* :class:`LinkDef` / :class:`PathDef` / :class:`TopologySpec` -- the
+  picklable, fingerprintable description scenario grids carry; a spec
+  ``build()``s a fresh live topology per run (deterministic given the
+  seed).
+* :func:`dumbbell`, :func:`chain`, :func:`parking_lot` -- builders for
+  the standard shapes: one bottleneck, N bottlenecks in series, and
+  N bottlenecks in series with single-hop cross traffic.
+
+Acks travel the return path as pure propagation (no queueing), matching
+the single-link engine's treatment of the reverse direction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netsim.link import Link
+from repro.netsim.traces import ConstantTrace, make_trace, mbps_to_pps
+
+__all__ = ["Path", "Topology", "LinkDef", "PathDef", "TopologySpec",
+           "dumbbell", "chain", "parking_lot"]
+
+#: Queue floor when sizing buffers from a BDP multiple (shared with
+#: :meth:`repro.eval.runner.EvalNetwork.queue_size`, which must size
+#: identically for the dumbbell-vs-single-link parity guarantee).
+MIN_QUEUE_PACKETS = 4
+
+
+@dataclass(frozen=True)
+class Path:
+    """A resolved forward route plus the return propagation delay."""
+
+    name: str
+    link_names: tuple
+    links: tuple
+    #: One-way propagation delay of the ack path, seconds.
+    return_delay: float
+
+    @property
+    def forward_delay(self) -> float:
+        return sum(link.delay for link in self.links)
+
+    @property
+    def base_rtt(self) -> float:
+        """Round-trip propagation time (no queueing) along this path."""
+        return self.forward_delay + self.return_delay
+
+
+class Topology:
+    """Named links and the named paths flows take across them.
+
+    Parameters
+    ----------
+    links:
+        Mapping of link name to :class:`Link` (insertion order is the
+        canonical link order).
+    paths:
+        Mapping of path name to an ordered sequence of link names.
+    default_path:
+        Path used by flows that do not name one; defaults to the first
+        path.
+    return_delays:
+        Optional per-path return propagation delay in seconds
+        (asymmetric routes).  Paths not listed are symmetric: the
+        return delay equals the forward propagation delay.
+    """
+
+    def __init__(self, links: dict, paths: dict, default_path: str | None = None,
+                 return_delays: dict | None = None):
+        if not links:
+            raise ValueError("a topology needs at least one link")
+        if not paths:
+            raise ValueError("a topology needs at least one path")
+        self.links = dict(links)
+        return_delays = return_delays or {}
+        self.paths: dict[str, Path] = {}
+        for name, link_names in paths.items():
+            link_names = tuple(link_names)
+            if not link_names:
+                raise ValueError(f"path {name!r} traverses no links")
+            missing = [ln for ln in link_names if ln not in self.links]
+            if missing:
+                raise KeyError(
+                    f"path {name!r} references unknown link(s) {missing}; "
+                    f"known: {sorted(self.links)}")
+            path_links = tuple(self.links[ln] for ln in link_names)
+            return_delay = return_delays.get(
+                name, sum(link.delay for link in path_links))
+            self.paths[name] = Path(name=name, link_names=link_names,
+                                    links=path_links,
+                                    return_delay=float(return_delay))
+        if default_path is None:
+            default_path = next(iter(self.paths))
+        if default_path not in self.paths:
+            raise KeyError(f"default path {default_path!r} is not a path; "
+                           f"known: {sorted(self.paths)}")
+        self.default_path = default_path
+
+    def path(self, name: str | None = None) -> Path:
+        """Resolve a path by name (``None`` -> the default path)."""
+        if name is None:
+            name = self.default_path
+        try:
+            return self.paths[name]
+        except KeyError:
+            raise KeyError(f"unknown path {name!r}; "
+                           f"known: {sorted(self.paths)}") from None
+
+    def all_links(self) -> list[Link]:
+        return list(self.links.values())
+
+    def reset(self) -> None:
+        """Clear queue state and counters on every link."""
+        for link in self.links.values():
+            link.reset()
+
+    # --- constructors ------------------------------------------------------
+
+    @classmethod
+    def single_path(cls, links: list[Link], name: str = "path") -> "Topology":
+        """The legacy shape: every flow traverses every link in order."""
+        named = {link.name or f"link{i}": link for i, link in enumerate(links)}
+        if len(named) != len(links):
+            raise ValueError("duplicate link names")
+        return cls(named, {name: tuple(named)})
+
+    @classmethod
+    def parking_lot(cls, links: list[Link]) -> "Topology":
+        """N links in series: a ``through`` path plus per-hop ``crossN``."""
+        named = {link.name or f"hop{i}": link for i, link in enumerate(links)}
+        if len(named) != len(links):
+            raise ValueError("duplicate link names")
+        names = list(named)
+        paths = {"through": tuple(names)}
+        for i, link_name in enumerate(names):
+            paths[f"cross{i}"] = (link_name,)
+        return cls(named, paths, default_path="through")
+
+
+# --- declarative layer -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LinkDef:
+    """Declarative description of one link.
+
+    ``bandwidth_mbps`` is the constant capacity, and stays the *nominal*
+    capacity for controller sizing and BDP-relative buffers when a named
+    ``trace`` overrides the actual capacity process.  ``queue_packets``
+    sizes the buffer absolutely; otherwise ``buffer_bdp`` multiples of
+    the BDP of the longest path through this link are used.
+    """
+
+    name: str
+    bandwidth_mbps: float = 20.0
+    delay_ms: float = 10.0
+    buffer_bdp: float = 1.0
+    queue_packets: int | None = None
+    loss_rate: float = 0.0
+    trace: str | None = None
+
+
+@dataclass(frozen=True)
+class PathDef:
+    """Declarative path: ordered link names + optional return delay."""
+
+    name: str
+    links: tuple
+    return_delay_ms: float | None = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "links", tuple(self.links))
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Picklable topology description consumed by scenario grids.
+
+    ``build()`` produces a fresh live :class:`Topology` whose link RNGs
+    derive deterministically from the given seed, so a scenario's
+    results are reproducible and identical across serial and parallel
+    execution.
+    """
+
+    name: str
+    links: tuple
+    paths: tuple
+    default_path: str = ""
+
+    def __post_init__(self):
+        object.__setattr__(self, "links", tuple(self.links))
+        object.__setattr__(self, "paths", tuple(self.paths))
+        if not self.links:
+            raise ValueError("a topology spec needs at least one link")
+        if not self.paths:
+            raise ValueError("a topology spec needs at least one path")
+        link_names = [ld.name for ld in self.links]
+        if len(set(link_names)) != len(link_names):
+            raise ValueError(f"duplicate link names in {link_names}")
+        path_names = [p.name for p in self.paths]
+        if len(set(path_names)) != len(path_names):
+            raise ValueError(f"duplicate path names in {path_names}")
+        for p in self.paths:
+            missing = [ln for ln in p.links if ln not in link_names]
+            if missing:
+                raise ValueError(f"path {p.name!r} references unknown "
+                                 f"link(s) {missing}")
+        if self.default_path and self.default_path not in path_names:
+            raise ValueError(f"default path {self.default_path!r} is not "
+                             f"one of {path_names}")
+
+    # --- lookups -----------------------------------------------------------
+
+    def path(self, name: str | None = None) -> PathDef:
+        if name is None:
+            name = self.default_path or self.paths[0].name
+        for p in self.paths:
+            if p.name == name:
+                return p
+        raise KeyError(f"unknown path {name!r}; "
+                       f"known: {[p.name for p in self.paths]}")
+
+    def path_names(self) -> tuple:
+        return tuple(p.name for p in self.paths)
+
+    def _link(self, name: str) -> LinkDef:
+        for ld in self.links:
+            if ld.name == name:
+                return ld
+        raise KeyError(f"unknown link {name!r}")
+
+    def path_one_way_ms(self, name: str | None = None) -> float:
+        """Forward propagation delay of a path, milliseconds."""
+        return sum(self._link(ln).delay_ms for ln in self.path(name).links)
+
+    def path_rtt_s(self, name: str | None = None) -> float:
+        """Round-trip propagation time of a path, seconds."""
+        p = self.path(name)
+        forward = self.path_one_way_ms(p.name)
+        back = p.return_delay_ms if p.return_delay_ms is not None else forward
+        return (forward + back) / 1000.0
+
+    def path_bottleneck_mbps(self, name: str | None = None) -> float:
+        """Nominal bottleneck capacity along a path (Mbps)."""
+        return min(self._link(ln).bandwidth_mbps for ln in self.path(name).links)
+
+    def path_loss_rate(self, name: str | None = None) -> float:
+        """End-to-end random-loss probability along a path."""
+        survival = 1.0
+        for ln in self.path(name).links:
+            survival *= 1.0 - self._link(ln).loss_rate
+        return 1.0 - survival
+
+    # --- realisation -------------------------------------------------------
+
+    def _bdp_rtt_s(self, link_name: str) -> float:
+        """RTT used for this link's BDP-relative buffer: the longest
+        round-trip of any path traversing the link (falls back to the
+        link's own round trip if no path uses it)."""
+        rtts = [self.path_rtt_s(p.name) for p in self.paths
+                if link_name in p.links]
+        if rtts:
+            return max(rtts)
+        return 2.0 * self._link(link_name).delay_ms / 1000.0
+
+    def build(self, packet_bytes: int = 1500, seed: int = 0) -> Topology:
+        """Instantiate live links (deterministic RNGs) and paths."""
+        links: dict[str, Link] = {}
+        for i, ld in enumerate(self.links):
+            pps = mbps_to_pps(ld.bandwidth_mbps, packet_bytes)
+            trace = make_trace(ld.trace) if ld.trace else ConstantTrace(pps)
+            queue = ld.queue_packets
+            if queue is None:
+                bdp = pps * self._bdp_rtt_s(ld.name)
+                queue = max(int(round(ld.buffer_bdp * bdp)), MIN_QUEUE_PACKETS)
+            links[ld.name] = Link(
+                trace=trace, delay=ld.delay_ms / 1000.0, queue_size=queue,
+                loss_rate=ld.loss_rate,
+                rng=np.random.default_rng((seed, i)), name=ld.name)
+        paths = {p.name: p.links for p in self.paths}
+        return_delays = {p.name: p.return_delay_ms / 1000.0
+                         for p in self.paths if p.return_delay_ms is not None}
+        return Topology(links, paths,
+                        default_path=self.default_path or self.paths[0].name,
+                        return_delays=return_delays)
+
+
+def _per_hop(value, hops: int, label: str) -> list:
+    """Broadcast a scalar (or validate a sequence) across ``hops``."""
+    if isinstance(value, (list, tuple)):
+        if len(value) != hops:
+            raise ValueError(f"{label} has {len(value)} entries for "
+                             f"{hops} hops")
+        return list(value)
+    return [value] * hops
+
+
+def _hop_links(hops: int, bandwidth_mbps, delay_ms, buffer_bdp,
+               queue_packets, loss_rate, trace) -> tuple:
+    bws = _per_hop(bandwidth_mbps, hops, "bandwidth_mbps")
+    delays = _per_hop(delay_ms, hops, "delay_ms")
+    buffers = _per_hop(buffer_bdp, hops, "buffer_bdp")
+    queues = _per_hop(queue_packets, hops, "queue_packets")
+    losses = _per_hop(loss_rate, hops, "loss_rate")
+    traces = _per_hop(trace, hops, "trace")
+    return tuple(LinkDef(name=f"hop{i}", bandwidth_mbps=float(bws[i]),
+                         delay_ms=float(delays[i]), buffer_bdp=float(buffers[i]),
+                         queue_packets=queues[i], loss_rate=float(losses[i]),
+                         trace=traces[i])
+                 for i in range(hops))
+
+
+def dumbbell(bandwidth_mbps: float = 20.0, delay_ms: float = 10.0,
+             buffer_bdp: float = 1.0, queue_packets: int | None = None,
+             loss_rate: float = 0.0, trace: str | None = None,
+             name: str | None = None) -> TopologySpec:
+    """One shared bottleneck -- the paper's evaluation shape."""
+    links = _hop_links(1, bandwidth_mbps, delay_ms, buffer_bdp,
+                       queue_packets, loss_rate, trace)
+    return TopologySpec(name=name or "dumbbell", links=links,
+                        paths=(PathDef("through", ("hop0",)),))
+
+
+def chain(hops: int, bandwidth_mbps=20.0, delay_ms=10.0, buffer_bdp=1.0,
+          queue_packets=None, loss_rate=0.0, trace=None,
+          name: str | None = None) -> TopologySpec:
+    """``hops`` bottlenecks in series; one path traverses them all.
+
+    Per-hop parameters accept a scalar (broadcast) or a sequence of
+    length ``hops``.
+    """
+    if hops < 1:
+        raise ValueError("need at least one hop")
+    links = _hop_links(hops, bandwidth_mbps, delay_ms, buffer_bdp,
+                       queue_packets, loss_rate, trace)
+    return TopologySpec(name=name or f"chain{hops}", links=links,
+                        paths=(PathDef("through", tuple(ld.name for ld in links)),))
+
+
+def parking_lot(hops: int, bandwidth_mbps=20.0, delay_ms=10.0, buffer_bdp=1.0,
+                queue_packets=None, loss_rate=0.0, trace=None,
+                name: str | None = None) -> TopologySpec:
+    """The classic multi-bottleneck contention shape.
+
+    A ``through`` path traverses all ``hops`` links; each hop ``i``
+    additionally carries single-hop cross traffic on path ``cross{i}``.
+    """
+    if hops < 2:
+        raise ValueError("a parking lot needs at least two hops")
+    links = _hop_links(hops, bandwidth_mbps, delay_ms, buffer_bdp,
+                       queue_packets, loss_rate, trace)
+    paths = [PathDef("through", tuple(ld.name for ld in links))]
+    paths += [PathDef(f"cross{i}", (links[i].name,)) for i in range(hops)]
+    return TopologySpec(name=name or f"parking-lot{hops}", links=links,
+                        paths=tuple(paths), default_path="through")

@@ -57,10 +57,18 @@ class BandwidthTrace:
         raise NotImplementedError
 
     def mean_bandwidth(self, t0: float, t1: float, samples: int = 64) -> float:
-        """Average capacity over ``[t0, t1]`` (midpoint sampling)."""
+        """Average capacity over ``[t0, t1]`` (midpoint sampling).
+
+        ``[t0, t1]`` is split into ``samples`` equal sub-intervals and
+        the capacity is read at each sub-interval's centre -- the
+        midpoint rule.  (Sampling ``linspace(t0, t1)`` instead would
+        weight both endpoints' regimes twice and bias the estimate for
+        step-like traces whose switch falls inside the interval.)
+        """
         if t1 <= t0:
             return self.bandwidth_at(t0)
-        times = np.linspace(t0, t1, samples)
+        width = (t1 - t0) / samples
+        times = t0 + (np.arange(samples) + 0.5) * width
         return float(np.mean([self.bandwidth_at(float(t)) for t in times]))
 
 
@@ -216,11 +224,35 @@ def trace_names() -> tuple:
     return tuple(sorted(_TRACE_REGISTRY))
 
 
+def _leo_handover_trace(horizon: float = 600.0, period: float = 15.0,
+                        dip: float = 0.8, seed: int = 23) -> PiecewiseTrace:
+    """LEO-satellite-like capacity: periodic handovers with deep dips.
+
+    Low-earth-orbit constellations hand a terminal over to a new
+    satellite every ~15 s; each handover briefly collapses the usable
+    rate before the new beam settles at a different capacity.  Modelled
+    as a piecewise-constant process: every ``period`` seconds the
+    capacity drops to ~2 Mbps for ``dip`` seconds, then holds a fresh
+    per-satellite draw from 25-60 Mbps.  Deterministic given the seed.
+    """
+    rng = np.random.default_rng(seed)
+    points: list[tuple[float, float]] = []
+    t = 0.0
+    while t < horizon:
+        points.append((t, mbps_to_pps(2.0)))
+        points.append((t + dip, mbps_to_pps(float(rng.uniform(25.0, 60.0)))))
+        t += period
+    return PiecewiseTrace(points)
+
+
 # Built-in named scenarios.  "fig1-step" is the paper's motivating
 # oscillating bottleneck; the walk traces emulate cellular/WiFi-like
-# capacity processes with fixed seeds so results are reproducible.
+# capacity processes with fixed seeds so results are reproducible;
+# "leo-handover" adds the satellite-handover regime the multi-hop/churn
+# suites exercise.
 register_trace("fig1-step", lambda: StepTrace.from_mbps(20.0, 30.0, period=5.0))
 register_trace("cellular-walk", lambda: RandomWalkTrace(
     mbps_to_pps(2.0), mbps_to_pps(30.0), interval=1.0, step=0.3, seed=42))
 register_trace("wifi-walk", lambda: RandomWalkTrace(
     mbps_to_pps(10.0), mbps_to_pps(60.0), interval=0.5, step=0.2, seed=7))
+register_trace("leo-handover", _leo_handover_trace)

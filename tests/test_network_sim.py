@@ -124,7 +124,10 @@ class TestMultiFlow:
                          duration=10.0, seed=11)
         r1, r2 = sim.run_all()
         assert r2.records[0].start >= 5.0
-        assert all(s.end <= 8.0 + 0.5 for s in r2.records)
+        # MIs close on schedule until the stop; the final MI extends to
+        # the last straggling ack (queue drain), never past the run.
+        assert all(s.end <= 8.0 + 0.5 for s in r2.records[:-1])
+        assert r2.records[-1].end <= 10.0
         assert r1.records[-1].end > 9.0
 
     def test_flow_ids_distinct(self):

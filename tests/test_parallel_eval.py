@@ -4,9 +4,15 @@ import numpy as np
 import pytest
 
 from repro.eval.metrics import jain_index_series
-from repro.eval.parallel import ParallelRunner, ResultCache, ResultTable
-from repro.eval.scenarios import FlowDef, Scenario, ScenarioSuite
+from repro.eval.parallel import (
+    ParallelRunner,
+    ResultCache,
+    ResultTable,
+    ScenarioError,
+)
+from repro.eval.scenarios import ChurnSchedule, FlowDef, Scenario, ScenarioSuite
 from repro.eval.runner import EvalNetwork
+from repro.netsim.topology import parking_lot
 
 NET = EvalNetwork(bandwidth_mbps=8.0, one_way_ms=10.0, buffer_bdp=1.0)
 
@@ -90,6 +96,130 @@ class TestParallelRunner:
                                  duration=1.0))
         assert cache.clear() == 2
         assert cache.clear() == 0
+
+
+#: A parking-lot grid with churning cross traffic -- the
+#: multi-bottleneck acceptance shape: >= 2 bottlenecks, staggered and
+#: on-off arrival/departure schedules, all driven through suite axes.
+MULTIHOP_SUITE = ScenarioSuite(
+    name="mh",
+    lineups={"bbr-through": (FlowDef("bbr", path="through"),
+                             FlowDef("cubic", path="cross0", label="c0"),
+                             FlowDef("cubic", path="cross1", label="c1"))},
+    topologies=(parking_lot(2, bandwidth_mbps=10.0, delay_ms=8.0),),
+    churns=(None, ChurnSchedule("staggered", gap=2.0, skip=1),
+            ChurnSchedule("on-off", gap=2.0, on_time=3.0, skip=1)),
+    seeds=(0, 1), duration=6.0)
+
+
+class TestMultihopChurn:
+    def test_parallel_matches_serial_bit_identical(self):
+        serial = ParallelRunner(n_workers=1, use_cache=False)
+        parallel = ParallelRunner(n_workers=2, use_cache=False)
+        assert _flat(serial.run(MULTIHOP_SUITE)) == _flat(parallel.run(MULTIHOP_SUITE))
+
+    def test_cache_round_trip(self, tmp_path):
+        runner = ParallelRunner(n_workers=2, cache_dir=tmp_path)
+        first = runner.run(MULTIHOP_SUITE)
+        assert first.cache_misses == len(MULTIHOP_SUITE) == 6
+        second = runner.run(MULTIHOP_SUITE)
+        assert second.cache_hits == 6
+        assert _flat(first) == _flat(second)
+
+    def test_rows_expose_topology_path_and_churn(self):
+        scenarios = [s for s in MULTIHOP_SUITE.expand() if s.seed == 0][:2]
+        outcome = ParallelRunner(n_workers=1, use_cache=False).run(scenarios)
+        rows = outcome.table.rows
+        assert {r["topology"] for r in rows} == {"parking-lot2"}
+        assert {r["path"] for r in rows} == {"through", "cross0", "cross1"}
+        assert {r["churn"] for r in rows} == {None, "staggered-g2-s1"}
+
+    def test_rows_report_path_axes_not_superseded_network(self):
+        """Topology rows carry what the flow's path saw: the default
+        path resolved by name, path bottleneck/RTT, no scalar buffer --
+        not the inert single-link network axes."""
+        scenario = Scenario(
+            name="rp", network=EvalNetwork(bandwidth_mbps=99.0, one_way_ms=1.0),
+            topology=parking_lot(2, bandwidth_mbps=(10.0, 16.0), delay_ms=8.0,
+                                 loss_rate=(0.1, 0.0)),
+            flows=(FlowDef("cubic"),                      # default path
+                   FlowDef("cubic", path="cross1")),
+            duration=1.0)
+        rows = ParallelRunner(n_workers=1, use_cache=False).run(
+            [scenario]).table.rows
+        through, cross = rows
+        assert through["path"] == "through"  # default path resolved
+        assert through["bandwidth_mbps"] == 10.0 and cross["bandwidth_mbps"] == 16.0
+        assert through["rtt_ms"] == pytest.approx(32.0)
+        assert cross["rtt_ms"] == pytest.approx(16.0)
+        assert through["loss"] == pytest.approx(0.1) and cross["loss"] == 0.0
+        assert through["buffer"] is None
+        assert not any(r["bandwidth_mbps"] == 99.0 for r in rows)
+
+    def test_churn_windows_respected_in_records(self):
+        outcome = ParallelRunner(n_workers=1, use_cache=False).run(
+            MULTIHOP_SUITE)
+        # The on-off cell: cross1 is only active in [2, 5).
+        result = next(r for r in outcome
+                      if r.scenario.churn is not None
+                      and r.scenario.churn.kind == "on-off"
+                      and r.scenario.seed == 0)
+        cross1 = result.records[2]
+        assert cross1.records[0].start >= 2.0
+        assert all(s.end <= 6.0 for s in cross1.records)
+
+
+def _failing_suite():
+    return ScenarioSuite(name="bad", lineups=("cubic", "no-such-scheme",
+                                              "vegas"), duration=1.0)
+
+
+class TestFailureHandling:
+    def test_serial_failure_names_the_scenario(self):
+        runner = ParallelRunner(n_workers=1, use_cache=False)
+        with pytest.raises(ScenarioError, match="bad/no-such-scheme"):
+            runner.run(_failing_suite())
+
+    def test_parallel_failure_names_the_scenario(self):
+        runner = ParallelRunner(n_workers=2, use_cache=False)
+        with pytest.raises(ScenarioError, match="no-such-scheme"):
+            runner.run(_failing_suite())
+
+    def test_non_abort_run_completes_and_caches_good_cells(self, tmp_path):
+        runner = ParallelRunner(n_workers=1, cache_dir=tmp_path)
+        with pytest.raises(ScenarioError):
+            runner.run(_failing_suite())
+        # Both healthy cells were executed and cached despite the
+        # failure in the middle of the suite.
+        good = [s for s in _failing_suite().expand()
+                if s.lineup != "no-such-scheme"]
+        assert all(s.fingerprint() in runner.cache for s in good)
+
+    def test_early_abort_serial_stops_at_first_failure(self, tmp_path):
+        runner = ParallelRunner(n_workers=1, cache_dir=tmp_path,
+                                early_abort=True)
+        with pytest.raises(ScenarioError, match="no-such-scheme"):
+            runner.run(_failing_suite())
+        # The cell *after* the failure never ran.
+        vegas = next(s for s in _failing_suite().expand()
+                     if s.lineup == "vegas")
+        assert vegas.fingerprint() not in runner.cache
+
+    def test_early_abort_parallel_raises(self):
+        runner = ParallelRunner(n_workers=2, use_cache=False,
+                                early_abort=True)
+        with pytest.raises(ScenarioError):
+            runner.run(_failing_suite())
+
+    def test_cached_cells_unaffected_by_failures(self, tmp_path):
+        runner = ParallelRunner(n_workers=1, cache_dir=tmp_path)
+        good = ScenarioSuite(name="bad", lineups=("cubic", "vegas"),
+                             duration=1.0)
+        runner.run(good)
+        with pytest.raises(ScenarioError):
+            runner.run(_failing_suite())
+        outcome = runner.run(good)
+        assert outcome.cache_hits == 2
 
 
 class TestSweepCompat:

@@ -8,12 +8,14 @@ from repro.config import DEFAULT_TRAINING
 from repro.eval.runner import EvalNetwork, run_competition, run_scheme, scheme_factory
 from repro.eval.scenarios import (
     AgentRef,
+    ChurnSchedule,
     FlowDef,
     Scenario,
     ScenarioSuite,
     _agent_signature,
     run_scenario,
 )
+from repro.netsim.topology import dumbbell, parking_lot
 from repro.netsim.traces import (
     ConstantTrace,
     StepTrace,
@@ -138,6 +140,135 @@ class TestScenario:
         assert record.mean_throughput_pps == legacy.mean_throughput_pps
 
 
+class TestChurnSchedule:
+    def test_staggered_windows(self):
+        churn = ChurnSchedule("staggered", gap=3.0, offset=1.0)
+        assert churn.windows(3, 20.0) == [(1.0, float("inf")),
+                                          (4.0, float("inf")),
+                                          (7.0, float("inf"))]
+
+    def test_departures_windows(self):
+        churn = ChurnSchedule("departures", gap=5.0)
+        assert churn.windows(2, 20.0) == [(0.0, 20.0), (0.0, 15.0)]
+
+    def test_on_off_windows_default_on_time(self):
+        churn = ChurnSchedule("on-off", gap=4.0)
+        assert churn.windows(2, 20.0) == [(0.0, 4.0), (4.0, 8.0)]
+
+    def test_skip_leaves_leading_flows_alone(self):
+        churn = ChurnSchedule("on-off", gap=4.0, on_time=6.0, skip=1)
+        flows = (FlowDef("bbr"), FlowDef("cubic"), FlowDef("cubic"))
+        out = churn.apply(flows, 20.0)
+        assert out[0] == flows[0]
+        assert (out[1].start, out[1].stop) == (0.0, 6.0)
+        assert (out[2].start, out[2].stop) == (4.0, 10.0)
+
+    def test_scenario_applies_churn_to_flows(self):
+        scenario = Scenario(name="c", network=NET,
+                            flows=("cubic", "cubic"), duration=10.0,
+                            churn=ChurnSchedule("staggered", gap=2.0))
+        assert [f.start for f in scenario.flows] == [0.0, 2.0]
+
+    def test_invalid_kind_and_params(self):
+        with pytest.raises(ValueError, match="unknown churn kind"):
+            ChurnSchedule("bursty")
+        with pytest.raises(ValueError):
+            ChurnSchedule(gap=-1.0)
+        with pytest.raises(ValueError):
+            ChurnSchedule("on-off", on_time=0.0)
+
+    def test_label_is_stable(self):
+        assert ChurnSchedule("on-off", gap=3.0, on_time=4.0, skip=1).label() \
+            == "on-off-g3-on4-s1"
+
+
+class TestTopologyScenarios:
+    def test_flow_path_requires_topology(self):
+        with pytest.raises(ValueError, match="need a topology"):
+            Scenario(name="t", network=NET,
+                     flows=(FlowDef("cubic", path="through"),))
+
+    def test_unknown_path_rejected_at_construction(self):
+        with pytest.raises(KeyError, match="unknown path"):
+            Scenario(name="t", network=NET, topology=parking_lot(2),
+                     flows=(FlowDef("cubic", path="cross9"),))
+
+    def test_topology_and_trace_conflict(self):
+        with pytest.raises(ValueError, match="their own traces"):
+            Scenario(name="t", network=NET, topology=dumbbell(),
+                     flows=("cubic",), trace="fig1-step")
+
+    def test_dumbbell_topology_matches_single_link_network(self):
+        """A dumbbell spec mirroring NET reproduces the single-link
+        scenario exactly (same queue sizing, same seeded streams)."""
+        topo = dumbbell(bandwidth_mbps=NET.bandwidth_mbps,
+                        delay_ms=NET.one_way_ms)
+        a = run_scenario(Scenario(name="a", network=NET, flows=("cubic",),
+                                  topology=topo, duration=4.0, seed=3))[0]
+        b = run_scenario(Scenario(name="b", network=NET, flows=("cubic",),
+                                  duration=4.0, seed=3))[0]
+        assert a.mean_throughput_pps == b.mean_throughput_pps
+        assert a.mean_rtt == b.mean_rtt
+        assert a.base_rtt == b.base_rtt
+
+    def test_fingerprint_sensitive_to_topology_content(self):
+        base = Scenario(name="x", network=NET, flows=("cubic",),
+                        topology=parking_lot(2))
+        prints = {
+            base.fingerprint(),
+            Scenario(name="x", network=NET, flows=("cubic",),
+                     topology=parking_lot(3)).fingerprint(),
+            Scenario(name="x", network=NET, flows=("cubic",),
+                     topology=parking_lot(2, bandwidth_mbps=9.0)).fingerprint(),
+            Scenario(name="x", network=NET, flows=("cubic",),
+                     topology=parking_lot(2, delay_ms=5.0)).fingerprint(),
+            Scenario(name="x", network=NET, flows=("cubic",),
+                     topology=parking_lot(2, trace="fig1-step")).fingerprint(),
+            Scenario(name="x", network=NET,
+                     flows=(FlowDef("cubic", path="cross0"),),
+                     topology=parking_lot(2)).fingerprint(),
+        }
+        assert len(prints) == 6
+
+    def test_fingerprint_ignores_topology_rename(self):
+        a = parking_lot(2)
+        b = parking_lot(2, name="same-shape-other-name")
+        fp = lambda t: Scenario(name="x", network=NET, flows=("cubic",),
+                                topology=t).fingerprint()
+        assert fp(a) == fp(b)
+
+    def test_fingerprint_sensitive_to_churn_schedule(self):
+        fp = lambda churn: Scenario(
+            name="x", network=NET, flows=("cubic", "cubic"), duration=10.0,
+            churn=churn).fingerprint()
+        assert len({fp(None),
+                    fp(ChurnSchedule("staggered", gap=2.0)),
+                    fp(ChurnSchedule("staggered", gap=3.0)),
+                    fp(ChurnSchedule("on-off", gap=2.0))}) == 4
+
+    def test_fingerprint_ignores_superseded_network_axes(self):
+        """With a topology, the single-link bandwidth axis is inert and
+        must not fork cache entries."""
+        other = EvalNetwork(bandwidth_mbps=40.0, one_way_ms=5.0)
+        fp = lambda net: Scenario(name="x", network=net, flows=("cubic",),
+                                  topology=parking_lot(2)).fingerprint()
+        assert fp(NET) == fp(other)
+
+    def test_parking_lot_run_produces_per_path_records(self):
+        scenario = Scenario(
+            name="pl", network=NET, topology=parking_lot(2, bandwidth_mbps=8.0),
+            flows=(FlowDef("bbr", path="through"),
+                   FlowDef("cubic", path="cross0"),
+                   FlowDef("cubic", path="cross1")),
+            duration=4.0, seed=1)
+        records = run_scenario(scenario)
+        assert len(records) == 3
+        # through crosses two 10 ms hops; cross flows see one.
+        assert records[0].base_rtt == pytest.approx(0.04)
+        assert records[1].base_rtt == pytest.approx(0.02)
+        assert all(r.mean_throughput_pps > 0 for r in records)
+
+
 class TestAgentRef:
     def test_keys_distinguish_models(self):
         keys = {AgentRef().key(),
@@ -211,3 +342,29 @@ class TestScenarioSuite:
         plain, stepped = suite.expand()
         assert plain.trace is None and stepped.trace == "fig1-step"
         assert isinstance(stepped.build_network().trace, StepTrace)
+
+    def test_topology_axis(self):
+        suite = ScenarioSuite(name="tp", lineups=("cubic",),
+                              topologies=(None, dumbbell(), parking_lot(2)))
+        plain, dumb, lot = suite.expand()
+        assert len(suite) == 3
+        assert plain.topology is None and "topo=None" in plain.name
+        assert dumb.topology.name == "dumbbell"
+        assert "topo=parking-lot2" in lot.name
+
+    def test_churn_axis(self):
+        suite = ScenarioSuite(
+            name="ch", lineups={"duo": ("cubic", "cubic")},
+            churns=(None, ChurnSchedule("staggered", gap=2.0)), duration=8.0)
+        plain, churned = suite.expand()
+        assert len(suite) == 2
+        assert [f.start for f in plain.flows] == [0.0, 0.0]
+        assert [f.start for f in churned.flows] == [0.0, 2.0]
+        assert "churn=staggered-g2" in churned.name
+
+    def test_topology_supersedes_trace_axis(self):
+        suite = ScenarioSuite(name="ts", lineups=("cubic",),
+                              traces=("fig1-step",),
+                              topologies=(parking_lot(2),))
+        scenario = suite.expand()[0]
+        assert scenario.trace is None and scenario.topology is not None

@@ -1,0 +1,236 @@
+"""Tests for the topology layer: live topologies, specs, builders, and
+multi-bottleneck simulation semantics (per-flow paths and RTTs)."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.link import Link
+from repro.netsim.network import FlowSpec, Simulation
+from repro.netsim.sender import ExternalRateController
+from repro.netsim.topology import (
+    LinkDef,
+    PathDef,
+    Topology,
+    TopologySpec,
+    chain,
+    dumbbell,
+    parking_lot,
+)
+from repro.netsim.traces import ConstantTrace
+
+
+def make_link(pps=100.0, delay=0.02, queue=50, loss=0.0, seed=0, name=""):
+    return Link(ConstantTrace(pps), delay=delay, queue_size=queue,
+                loss_rate=loss, rng=np.random.default_rng(seed), name=name)
+
+
+class TestLiveTopology:
+    def test_single_path_wraps_link_list(self):
+        links = [make_link(delay=0.01), make_link(delay=0.02)]
+        topo = Topology.single_path(links)
+        path = topo.path()
+        assert path.links == tuple(links)
+        assert path.base_rtt == pytest.approx(0.06)
+        assert path.return_delay == pytest.approx(0.03)
+
+    def test_parking_lot_paths(self):
+        links = [make_link(delay=0.01), make_link(delay=0.02)]
+        topo = Topology.parking_lot(links)
+        assert set(topo.paths) == {"through", "cross0", "cross1"}
+        assert topo.default_path == "through"
+        assert topo.path("cross1").links == (links[1],)
+        assert topo.path("cross1").base_rtt == pytest.approx(0.04)
+        assert topo.path("through").base_rtt == pytest.approx(0.06)
+
+    def test_asymmetric_return_delay(self):
+        topo = Topology({"a": make_link(delay=0.01)}, {"p": ("a",)},
+                        return_delays={"p": 0.05})
+        assert topo.path("p").base_rtt == pytest.approx(0.06)
+
+    def test_unknown_path_and_link_rejected(self):
+        with pytest.raises(KeyError, match="unknown link"):
+            Topology({"a": make_link()}, {"p": ("a", "b")})
+        topo = Topology({"a": make_link()}, {"p": ("a",)})
+        with pytest.raises(KeyError, match="unknown path"):
+            topo.path("q")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Topology({}, {"p": ("a",)})
+        with pytest.raises(ValueError):
+            Topology({"a": make_link()}, {})
+        with pytest.raises(ValueError, match="no links"):
+            Topology({"a": make_link()}, {"p": ()})
+
+
+class TestTopologySpec:
+    def test_builders_shape(self):
+        assert len(dumbbell().links) == 1
+        c = chain(3, bandwidth_mbps=(10.0, 20.0, 30.0))
+        assert [ld.bandwidth_mbps for ld in c.links] == [10.0, 20.0, 30.0]
+        assert c.path().links == ("hop0", "hop1", "hop2")
+        p = parking_lot(2)
+        assert p.path_names() == ("through", "cross0", "cross1")
+        assert p.default_path == "through"
+
+    def test_per_hop_broadcast_length_checked(self):
+        with pytest.raises(ValueError, match="2 entries for 3 hops"):
+            chain(3, bandwidth_mbps=(10.0, 20.0))
+
+    def test_parking_lot_needs_two_hops(self):
+        with pytest.raises(ValueError):
+            parking_lot(1)
+
+    def test_duplicate_and_unknown_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate link names"):
+            TopologySpec(name="t", links=(LinkDef("a"), LinkDef("a")),
+                         paths=(PathDef("p", ("a",)),))
+        with pytest.raises(ValueError, match="unknown"):
+            TopologySpec(name="t", links=(LinkDef("a"),),
+                         paths=(PathDef("p", ("a", "zz")),))
+        with pytest.raises(ValueError, match="default path"):
+            TopologySpec(name="t", links=(LinkDef("a"),),
+                         paths=(PathDef("p", ("a",)),), default_path="q")
+
+    def test_path_helpers(self):
+        spec = parking_lot(2, bandwidth_mbps=(8.0, 16.0), delay_ms=(10.0, 5.0))
+        assert spec.path_one_way_ms("through") == pytest.approx(15.0)
+        assert spec.path_rtt_s("cross1") == pytest.approx(0.01)
+        assert spec.path_bottleneck_mbps("through") == 8.0
+        assert spec.path_bottleneck_mbps("cross1") == 16.0
+
+    def test_build_is_deterministic_and_sized(self):
+        spec = parking_lot(2, bandwidth_mbps=12.0, delay_ms=10.0,
+                           loss_rate=0.1)
+        a, b = spec.build(seed=5), spec.build(seed=5)
+        assert list(a.links) == ["hop0", "hop1"]
+        # BDP-relative buffer against the longest path through the link
+        # (the 40 ms through-path RTT, not the hop's own 20 ms).
+        pps = 12.0 * 1e6 / (1500 * 8)
+        assert a.links["hop0"].queue_size == int(round(pps * 0.04))
+        # Same seed, same loss RNG stream.
+        draws_a = [a.links["hop0"].rng.random() for _ in range(5)]
+        draws_b = [b.links["hop0"].rng.random() for _ in range(5)]
+        assert draws_a == draws_b
+
+    def test_build_resolves_named_traces(self):
+        spec = dumbbell(trace="fig1-step")
+        link = spec.build().links["hop0"]
+        assert type(link.trace).__name__ == "StepTrace"
+
+    def test_queue_packets_overrides_bdp(self):
+        spec = dumbbell(queue_packets=7)
+        assert spec.build().links["hop0"].queue_size == 7
+
+
+class TestSimulationOverTopology:
+    def test_per_flow_base_rtt(self):
+        links = [make_link(delay=0.01, seed=1), make_link(delay=0.02, seed=2)]
+        topo = Topology.parking_lot(links)
+        sim = Simulation(topo, [
+            FlowSpec(ExternalRateController(50.0), path="through"),
+            FlowSpec(ExternalRateController(50.0), path="cross1"),
+        ], duration=2.0, seed=3)
+        assert sim.flows[0].base_rtt == pytest.approx(0.06)
+        assert sim.flows[1].base_rtt == pytest.approx(0.04)
+        # Engine-level default-path RTT is the topology's default path.
+        assert sim.base_rtt == pytest.approx(0.06)
+
+    def test_unknown_flow_path_rejected(self):
+        topo = Topology.single_path([make_link()])
+        with pytest.raises(KeyError, match="unknown path"):
+            Simulation(topo, [FlowSpec(ExternalRateController(1.0),
+                                       path="nope")], duration=1.0)
+
+    def test_cross_traffic_only_contends_on_its_hop(self):
+        """Cross flows on different hops do not share any queue."""
+        links = [make_link(pps=100.0, delay=0.01, seed=4, name="a"),
+                 make_link(pps=100.0, delay=0.01, seed=5, name="b")]
+        topo = Topology.parking_lot(links)
+        sim = Simulation(topo, [
+            FlowSpec(ExternalRateController(90.0), path="cross0"),
+            FlowSpec(ExternalRateController(90.0), path="cross1"),
+        ], duration=10.0, seed=6)
+        r0, r1 = sim.run_all()
+        # Each flow has its 100 pps hop to itself: no loss, full rate.
+        assert r0.loss_rate == 0.0 and r1.loss_rate == 0.0
+        assert r0.mean_throughput_pps == pytest.approx(90.0, rel=0.05)
+        assert r1.mean_throughput_pps == pytest.approx(90.0, rel=0.05)
+
+    def test_through_flow_contends_on_every_hop(self):
+        """A through flow shares each queue with that hop's cross flow."""
+        links = [make_link(pps=100.0, delay=0.01, queue=20, seed=7),
+                 make_link(pps=100.0, delay=0.01, queue=20, seed=8)]
+        topo = Topology.parking_lot(links)
+        sim = Simulation(topo, [
+            FlowSpec(ExternalRateController(100.0), path="through"),
+            FlowSpec(ExternalRateController(100.0), path="cross0"),
+            FlowSpec(ExternalRateController(100.0), path="cross1"),
+        ], duration=20.0, seed=9)
+        through, c0, c1 = sim.run_all()
+        # Every hop is overloaded (through + cross offer 200 pps at 100
+        # pps capacity), so everyone sees loss and nobody exceeds a
+        # fair-ish share; the through flow pays on both queues.
+        assert through.loss_rate > 0.2
+        assert through.mean_throughput_pps < 70.0
+        total0 = through.mean_throughput_pps + c0.mean_throughput_pps
+        assert total0 == pytest.approx(100.0, rel=0.1)
+
+    def test_multihop_drop_notice_uses_path_timing(self):
+        """Loss notices honour accumulated wire timing per path.
+
+        One packet through two links; the second link random-drops it.
+        The notice must reflect the true cursor: queue+service+delay of
+        both links plus the return propagation -- not the old
+        ``now + base_rtt + queue_delay`` shortcut (0.12 here).
+        """
+        a = make_link(pps=100.0, delay=0.01, queue=100, seed=10)
+        b = make_link(pps=50.0, delay=0.05, queue=100, loss=1.0 - 1e-12,
+                      seed=11)
+        times = []
+
+        class Recorder(ExternalRateController):
+            def on_loss(self, flow, packet, now):
+                times.append(now)
+
+        sim = Simulation([a, b], [FlowSpec(Recorder(0.5))], duration=1.0,
+                         seed=12)
+        sim.run()
+        # depart(a) = 0.01 service + 0.01 delay = 0.02;
+        # depart(b) = 0.02 + 0.02 service + 0.05 delay = 0.09;
+        # notice = 0.09 + return delay 0.06 = 0.15.
+        assert times and times[0] == pytest.approx(0.15, abs=1e-9)
+
+    def test_stop_time_mi_accounting_not_inflated(self):
+        """Regression: acks draining after stop_time must not be
+        crammed into an MI clamped at stop_time.
+
+        200 pps into a 50 pps link with a deep buffer, stopping at 1 s:
+        ~150 packets are still queued at the stop and their acks arrive
+        until ~4 s.  Pre-fix, the final MI ended at 1.0 s while
+        counting those acks, inflating flow throughput ~4x above link
+        capacity.
+        """
+        link = make_link(pps=50.0, delay=0.01, queue=10**6, seed=13)
+        sim = Simulation(link, [FlowSpec(ExternalRateController(200.0),
+                                         stop_time=1.0)],
+                         duration=8.0, seed=13)
+        record = sim.run_all()[0]
+        final = record.records[-1]
+        assert final.end > 1.5  # extends to the true last ack
+        assert final.throughput_pps <= 50.0 * 1.05
+        assert record.mean_throughput_pps <= 50.0 * 1.05
+        # Everything sent was eventually accounted.
+        flow = sim.flows[0]
+        assert flow.total_acked + flow.total_lost + flow.inflight == flow.total_sent
+
+    def test_legacy_link_list_equivalent_to_single_path_topology(self):
+        def run(arg):
+            sim = Simulation(arg, [FlowSpec(ExternalRateController(80.0))],
+                             duration=5.0, seed=14)
+            rec = sim.run_all()[0]
+            return (rec.mean_throughput_pps, rec.mean_rtt, rec.loss_rate)
+
+        links1 = [make_link(seed=15), make_link(seed=16, delay=0.01)]
+        links2 = [make_link(seed=15), make_link(seed=16, delay=0.01)]
+        assert run(links1) == run(Topology.single_path(links2))
