@@ -47,6 +47,7 @@ from repro.eval.gaussian import sigma_ellipse
 from repro.eval.cdf import empirical_cdf
 from repro.eval.sweeps import (
     SweepResult,
+    ack_congestion_suite,
     multihop_churn_suite,
     sweep_schemes,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "SweepResult",
     "sweep_schemes",
     "multihop_churn_suite",
+    "ack_congestion_suite",
     "AgentRef",
     "ChurnSchedule",
     "FlowDef",

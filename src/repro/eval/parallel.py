@@ -76,20 +76,41 @@ def _record_from_json(payload: dict) -> FlowRecord:
     return FlowRecord(records=stats, **fields)
 
 
+#: Default size cap of the on-disk result cache, megabytes.  Long-lived
+#: sweep machines accumulate entries across many suites; without a cap
+#: the directory grows without bound.
+DEFAULT_CACHE_MAX_MB = 2048.0
+
+
 class ResultCache:
     """Fingerprint-keyed store of finished scenario results (JSON files).
 
     The default location is ``repro/eval/_cache`` next to the model
     cache; set ``REPRO_RESULT_CACHE`` to relocate it (CI points it at a
     workspace-local directory).
+
+    The store is a size-capped LRU: ``get`` touches the entry's mtime,
+    ``put`` evicts oldest-touched entries once the directory exceeds
+    ``max_bytes`` (default :data:`DEFAULT_CACHE_MAX_MB`, overridable
+    via ``REPRO_RESULT_CACHE_MAX_MB``; ``0`` disables eviction).
+    ``prune()`` is the explicit entry point for maintenance jobs.
     """
 
-    def __init__(self, cache_dir: str | Path | None = None):
+    def __init__(self, cache_dir: str | Path | None = None,
+                 max_bytes: int | None = None):
         if cache_dir is None:
             cache_dir = os.environ.get("REPRO_RESULT_CACHE") or (
                 Path(__file__).resolve().parent / "_cache")
         self.cache_dir = Path(cache_dir)
         self.cache_dir.mkdir(parents=True, exist_ok=True)
+        if max_bytes is None:
+            env = os.environ.get("REPRO_RESULT_CACHE_MAX_MB")
+            max_mb = float(env) if env else DEFAULT_CACHE_MAX_MB
+            max_bytes = int(max_mb * 1e6)
+        self.max_bytes = int(max_bytes)
+        #: Running size estimate so put() only pays a directory scan
+        #: when the cap is actually threatened (None = not yet known).
+        self._approx_bytes: int | None = None
 
     def _path(self, fingerprint: str) -> Path:
         return self.cache_dir / f"{fingerprint}.json"
@@ -103,9 +124,14 @@ class ResultCache:
             payload = json.loads(path.read_text())
             if payload.get("version") != SCENARIO_CACHE_VERSION:
                 return None
-            return [_record_from_json(r) for r in payload["records"]]
+            records = [_record_from_json(r) for r in payload["records"]]
         except (OSError, ValueError, KeyError, TypeError, AttributeError):
             return None
+        try:
+            os.utime(path)  # LRU touch: a hit keeps the entry young
+        except OSError:
+            pass
+        return records
 
     def put(self, fingerprint: str, name: str, records: list[FlowRecord]) -> None:
         payload = {"version": SCENARIO_CACHE_VERSION, "name": name,
@@ -114,6 +140,50 @@ class ResultCache:
         tmp = path.with_suffix(".tmp")
         tmp.write_text(json.dumps(payload))
         tmp.replace(path)
+        if self.max_bytes > 0:
+            # Amortized eviction: keep a running size estimate and only
+            # pay the full directory scan once it crosses the cap (an
+            # overwrite counts its size twice, which merely prunes a
+            # touch early -- prune() re-measures exactly).
+            if self._approx_bytes is None:
+                self._approx_bytes = sum(
+                    p.stat().st_size for p in self.cache_dir.glob("*.json"))
+            else:
+                self._approx_bytes += path.stat().st_size
+            if self._approx_bytes > self.max_bytes:
+                self.prune()
+
+    def prune(self, max_bytes: int | None = None) -> int:
+        """Evict least-recently-used entries above the size cap.
+
+        Returns the number of entries removed.  ``max_bytes`` overrides
+        the cache's configured cap for this call; a cap <= 0 means
+        unbounded (nothing is evicted).
+        """
+        cap = self.max_bytes if max_bytes is None else int(max_bytes)
+        if cap <= 0:
+            return 0
+        entries = []
+        total = 0
+        for path in self.cache_dir.glob("*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # concurrently removed
+            entries.append((stat.st_mtime, stat.st_size, path))
+            total += stat.st_size
+        removed = 0
+        for _, size, path in sorted(entries):
+            if total <= cap:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
+        self._approx_bytes = total
+        return removed
 
     def __contains__(self, fingerprint: str) -> bool:
         return self._path(fingerprint).exists()
@@ -124,6 +194,7 @@ class ResultCache:
         for path in self.cache_dir.glob("*.json"):
             path.unlink()
             removed += 1
+        self._approx_bytes = 0
         return removed
 
 
@@ -318,11 +389,13 @@ class ParallelRunner:
 
     def __init__(self, n_workers: int | None = None,
                  cache_dir: str | Path | None = None, use_cache: bool = True,
-                 early_abort: bool = False):
+                 early_abort: bool = False,
+                 cache_max_bytes: int | None = None):
         if n_workers is None:
             n_workers = max(1, min(mp.cpu_count(), 8))
         self.n_workers = int(n_workers)
-        self.cache = ResultCache(cache_dir) if use_cache else None
+        self.cache = (ResultCache(cache_dir, max_bytes=cache_max_bytes)
+                      if use_cache else None)
         self.early_abort = bool(early_abort)
 
     def _warm_agents(self, scenarios: list[Scenario]) -> None:

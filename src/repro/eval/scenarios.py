@@ -46,7 +46,7 @@ __all__ = ["AgentRef", "ChurnSchedule", "FlowDef", "Scenario", "ScenarioSuite",
 
 #: Bumped whenever scenario execution changes in a way that invalidates
 #: previously cached results.
-SCENARIO_CACHE_VERSION = "v2"
+SCENARIO_CACHE_VERSION = "v3"
 
 
 def _simulation_code_digest() -> str:
@@ -228,7 +228,9 @@ def _topology_signature(spec: TopologySpec | None) -> list | None:
         if ld.trace is not None:
             entry.append(_trace_signature(make_trace(ld.trace)))
         links.append(entry)
-    paths = [[p.name, list(p.links), p.return_delay_ms] for p in spec.paths]
+    paths = [[p.name, list(p.links), p.return_delay_ms,
+              None if p.reverse_links is None else list(p.reverse_links)]
+             for p in spec.paths]
     return [links, paths, spec.default_path]
 
 
@@ -243,9 +245,14 @@ class ChurnSchedule:
       stays (the Fig. 11 arrival pattern as a reusable axis);
     * ``"departures"`` -- every flow starts at ``offset``; flow ``i``
       leaves at ``duration - i*gap`` (later flows leave earlier);
-    * ``"on-off"`` -- flow ``i`` is active only in
+    * ``"on-off"`` -- flow ``i`` is active in
       ``[offset + i*gap, offset + i*gap + on_time)`` (``on_time``
-      defaults to ``gap``: back-to-back sessions).
+      defaults to ``gap``: back-to-back sessions).  With ``period``
+      the window *repeats* every ``period`` seconds until the scenario
+      ends: each repeat is a fresh session (its own flow, restarting
+      from the controller's initial state, like a user re-opening a
+      connection).  ``duty`` sizes the window as a fraction of
+      ``period`` instead of ``on_time``.
 
     ``skip`` exempts the first ``skip`` flows of the line-up -- e.g. a
     persistent through flow on a parking lot while the cross traffic
@@ -257,6 +264,8 @@ class ChurnSchedule:
     offset: float = 0.0
     on_time: float | None = None
     skip: int = 0
+    period: float | None = None
+    duty: float | None = None
 
     def __post_init__(self):
         if self.kind not in ("staggered", "departures", "on-off"):
@@ -265,6 +274,28 @@ class ChurnSchedule:
             raise ValueError("gap, offset and skip must be non-negative")
         if self.on_time is not None and self.on_time <= 0:
             raise ValueError("on_time must be positive")
+        if self.period is not None or self.duty is not None:
+            if self.kind != "on-off":
+                raise ValueError("period/duty only apply to on-off churn")
+        if self.period is not None and self.period <= 0:
+            raise ValueError("period must be positive")
+        if self.duty is not None:
+            if self.period is None:
+                raise ValueError("duty needs a period")
+            if self.on_time is not None:
+                raise ValueError("give either on_time or duty, not both")
+            if not 0.0 < self.duty < 1.0:
+                raise ValueError("duty must be in (0, 1)")
+        if self.period is not None and self._on_duration() > self.period:
+            raise ValueError("on_time must not exceed period "
+                             "(windows would overlap themselves)")
+
+    def _on_duration(self) -> float:
+        if self.on_time is not None:
+            return self.on_time
+        if self.duty is not None:
+            return self.duty * self.period
+        return self.gap
 
     def label(self) -> str:
         bits = [self.kind, f"g{self.gap:g}"]
@@ -272,34 +303,69 @@ class ChurnSchedule:
             bits.append(f"o{self.offset:g}")
         if self.on_time is not None:
             bits.append(f"on{self.on_time:g}")
+        if self.period is not None:
+            bits.append(f"p{self.period:g}")
+        if self.duty is not None:
+            bits.append(f"d{self.duty:g}")
         if self.skip:
             bits.append(f"s{self.skip}")
         return "-".join(bits)
 
     def windows(self, n: int, duration: float) -> list:
-        """``(start, stop)`` for each of ``n`` churned flows."""
+        """First ``(start, stop)`` window for each of ``n`` churned flows."""
+        return [wins[0] for wins in self.all_windows(n, duration)]
+
+    def all_windows(self, n: int, duration: float) -> list:
+        """Every active window per churned flow (>= 1 each).
+
+        Non-periodic schedules yield exactly one window per flow; an
+        on-off schedule with ``period`` yields one per repeat whose
+        start falls inside the run.
+        """
         out = []
         for i in range(n):
             if self.kind == "staggered":
-                start, stop = self.offset + i * self.gap, float("inf")
+                starts, stop_after = [self.offset + i * self.gap], float("inf")
             elif self.kind == "departures":
-                start, stop = self.offset, duration - i * self.gap
+                starts, stop_after = [self.offset], duration - i * self.gap
             else:  # on-off
-                start = self.offset + i * self.gap
-                on = self.on_time if self.on_time is not None else self.gap
-                stop = start + on
-            start = min(max(start, 0.0), duration)
-            out.append((start, max(stop, start)))
+                first = self.offset + i * self.gap
+                stop_after = self._on_duration()
+                starts = [first]
+                if self.period is not None:
+                    k = 1
+                    while first + k * self.period < duration:
+                        starts.append(first + k * self.period)
+                        k += 1
+            windows = []
+            for start in starts:
+                stop = (stop_after if self.kind != "on-off"
+                        else start + stop_after)
+                start = min(max(start, 0.0), duration)
+                windows.append((start, max(stop, start)))
+            out.append(windows)
         return out
 
     def apply(self, flows: tuple, duration: float) -> tuple:
-        """Rewrite start/stop on every flow past the first ``skip``."""
+        """Rewrite start/stop on every flow past the first ``skip``.
+
+        A periodic on-off schedule expands each churned flow into one
+        flow *per repeat window* (suffixed ``~r1``, ``~r2``, ... past
+        the first), so every session restarts from controller initial
+        state; without ``period`` the line-up shape is unchanged.
+        """
         flows = tuple(flows)
         churned = flows[self.skip:]
-        windows = self.windows(len(churned), duration)
-        return flows[:self.skip] + tuple(
-            replace(flow, start=start, stop=stop)
-            for flow, (start, stop) in zip(churned, windows))
+        out = list(flows[:self.skip])
+        for flow, windows in zip(churned, self.all_windows(len(churned),
+                                                           duration)):
+            for k, (start, stop) in enumerate(windows):
+                clone = replace(flow, start=start, stop=stop)
+                if k:
+                    clone = replace(clone,
+                                    label=f"{flow.display_label()}~r{k}")
+                out.append(clone)
+        return tuple(out)
 
 
 @dataclass(frozen=True)
@@ -506,6 +572,13 @@ class ScenarioSuite:
       entries (``None`` = the single-bottleneck network built from the
       axes above; a spec supersedes bandwidth/RTT/loss/buffer/trace for
       that cell);
+    * ``reverse_paths`` -- ack-congestion axis: each entry is ``None``
+      (the topology spec as declared) or a mapping of path name to an
+      ordered tuple of reverse link names (wire real reverse-path
+      queueing) or ``None`` (strip back to the pure-propagation twin at
+      the same return propagation delay), applied to the cell's
+      topology via :meth:`TopologySpec.with_reverse_paths` -- needs a
+      non-``None`` topology;
     * ``churns`` -- :class:`ChurnSchedule` entries rewriting the
       line-up's start/stop times (``None`` = the line-up's own times).
 
@@ -521,6 +594,7 @@ class ScenarioSuite:
     buffers: tuple = (1.0,)
     traces: tuple = (None,)
     topologies: tuple = (None,)
+    reverse_paths: tuple = (None,)
     churns: tuple = (None,)
     seeds: tuple = (0,)
     duration: float = 20.0
@@ -530,13 +604,20 @@ class ScenarioSuite:
     def __post_init__(self):
         object.__setattr__(self, "lineups", _coerce_lineups(self.lineups))
         for axis in ("bandwidths_mbps", "rtts_ms", "losses", "buffers",
-                     "traces", "topologies", "churns", "seeds"):
+                     "traces", "topologies", "reverse_paths", "churns",
+                     "seeds"):
             object.__setattr__(self, axis, tuple(getattr(self, axis)))
+        if any(rev is not None for rev in self.reverse_paths) and \
+                any(topo is None for topo in self.topologies):
+            raise ValueError("the reverse_paths axis rewires topology "
+                             "paths; every topologies entry must be a "
+                             "TopologySpec")
 
     def __len__(self) -> int:
         return (len(self.lineups) * len(self.bandwidths_mbps) * len(self.rtts_ms)
                 * len(self.losses) * len(self.buffers) * len(self.traces)
-                * len(self.topologies) * len(self.churns) * len(self.seeds))
+                * len(self.topologies) * len(self.reverse_paths)
+                * len(self.churns) * len(self.seeds))
 
     def _network(self, bandwidth, rtt, loss, buffer, trace) -> EvalNetwork:
         is_packets = isinstance(buffer, (int, np.integer)) and not isinstance(buffer, bool)
@@ -551,20 +632,25 @@ class ScenarioSuite:
         axes = [("bw", self.bandwidths_mbps), ("rtt", self.rtts_ms),
                 ("loss", self.losses), ("buf", self.buffers),
                 ("trace", self.traces), ("topo", self.topologies),
-                ("churn", self.churns), ("seed", self.seeds)]
+                ("rev", self.reverse_paths), ("churn", self.churns),
+                ("seed", self.seeds)]
         varying = {label for label, values in axes if len(values) > 1}
-        for (label, flows), bw, rtt, loss, buf, trace, topo, churn, seed in product(
+        for (label, flows), bw, rtt, loss, buf, trace, topo, rev, churn, \
+                seed in product(
                 self.lineups, self.bandwidths_mbps, self.rtts_ms, self.losses,
-                self.buffers, self.traces, self.topologies, self.churns,
-                self.seeds):
+                self.buffers, self.traces, self.topologies,
+                self.reverse_paths, self.churns, self.seeds):
+            if rev is not None:
+                topo = topo.with_reverse_paths(rev)
             parts = [label]
             values = {"bw": bw, "rtt": rtt, "loss": loss, "buf": buf,
                       "trace": trace,
                       "topo": topo.name if topo is not None else None,
+                      "rev": _reverse_label(rev),
                       "churn": churn.label() if churn is not None else None,
                       "seed": seed}
             for axis in ("bw", "rtt", "loss", "buf", "trace", "topo",
-                         "churn", "seed"):
+                         "rev", "churn", "seed"):
                 if axis in varying:
                     parts.append(f"{axis}={values[axis]}")
             scenarios.append(Scenario(
@@ -576,3 +662,12 @@ class ScenarioSuite:
                 topology=topo, churn=churn, suite=self.name,
                 lineup=label))
         return scenarios
+
+
+def _reverse_label(rev) -> str | None:
+    """Stable display label for a ``reverse_paths`` axis entry."""
+    if rev is None:
+        return None
+    return ",".join(
+        f"{path}:{'+'.join(links) if links is not None else 'prop'}"
+        for path, links in sorted(rev.items()))

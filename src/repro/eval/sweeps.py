@@ -28,17 +28,22 @@ import numpy as np
 from repro.eval.parallel import ParallelRunner
 from repro.eval.runner import EvalNetwork
 from repro.eval.scenarios import ChurnSchedule, FlowDef, ScenarioSuite
-from repro.netsim.topology import parking_lot
+from repro.netsim.topology import dumbbell_asymmetric, parking_lot
 
 __all__ = ["SweepResult", "sweep_suite", "sweep_schemes",
            "multihop_churn_suite", "multihop_bench_suites",
+           "ack_congestion_suite",
            "FIG5_BANDWIDTHS", "FIG5_LATENCIES", "FIG5_LOSSES", "FIG5_BUFFERS",
            "FIG5_BENCH_SCHEMES", "FIG5_BENCH_SWEEPS", "FIG5_BENCH_BASE",
            "FIG5_BENCH_DURATION", "FIG5_BENCH_SEED",
            "MULTIHOP_BENCH_SCHEMES", "MULTIHOP_BENCH_HOPS",
            "MULTIHOP_BENCH_CHURNS", "MULTIHOP_BENCH_BANDWIDTH",
            "MULTIHOP_BENCH_DELAY_MS", "MULTIHOP_BENCH_DURATION",
-           "MULTIHOP_BENCH_SEED"]
+           "MULTIHOP_BENCH_SEED",
+           "ACK_BENCH_SCHEMES", "ACK_BENCH_BANDWIDTH",
+           "ACK_BENCH_REVERSE_BANDWIDTH", "ACK_BENCH_DELAY_MS",
+           "ACK_BENCH_REVERSE_LOADS", "ACK_BENCH_CHURNS",
+           "ACK_BENCH_DURATION", "ACK_BENCH_SEED"]
 
 #: The x-axes of Fig. 5 (subsampled where the paper's grid is dense).
 FIG5_BANDWIDTHS = (10.0, 20.0, 30.0, 40.0, 50.0)
@@ -75,6 +80,22 @@ MULTIHOP_BENCH_BANDWIDTH = 16.0
 MULTIHOP_BENCH_DELAY_MS = 8.0
 MULTIHOP_BENCH_DURATION = 14.0
 MULTIHOP_BENCH_SEED = 3
+
+#: The grid benchmarks/bench_ack_congestion.py runs: heuristic through
+#: schemes on an asymmetric dumbbell whose ack path is a real queued
+#: link, against 0..2 reverse-direction CUBIC uploads, each cell paired
+#: with its pure-propagation twin via the ``reverse_paths`` axis.
+ACK_BENCH_SCHEMES = ("cubic", "bbr", "copa", "vivace")
+ACK_BENCH_BANDWIDTH = 16.0
+ACK_BENCH_REVERSE_BANDWIDTH = 1.6
+ACK_BENCH_DELAY_MS = 8.0
+ACK_BENCH_REVERSE_LOADS = (0, 1, 2)
+ACK_BENCH_CHURNS = (
+    None,
+    ChurnSchedule("on-off", gap=3.0, on_time=4.0, period=8.0, skip=1),
+)
+ACK_BENCH_DURATION = 14.0
+ACK_BENCH_SEED = 4
 
 
 @dataclass
@@ -221,6 +242,47 @@ def multihop_churn_suite(schemes, hops: int = 3, churns=(None,),
     return ScenarioSuite(name=name or f"multihop{hops}", lineups=lineups,
                          topologies=(topo,), churns=tuple(churns),
                          duration=duration, seeds=tuple(seeds))
+
+
+def ack_congestion_suite(schemes, bandwidth_mbps=ACK_BENCH_BANDWIDTH,
+                         reverse_bandwidth_mbps=ACK_BENCH_REVERSE_BANDWIDTH,
+                         delay_ms=ACK_BENCH_DELAY_MS,
+                         reverse_loads=ACK_BENCH_REVERSE_LOADS,
+                         reverse_scheme: str = "cubic",
+                         churns=(None,),
+                         duration: float = ACK_BENCH_DURATION,
+                         seeds=(ACK_BENCH_SEED,),
+                         controller_kwargs: dict | None = None,
+                         name: str | None = None) -> ScenarioSuite:
+    """Ack-path congestion on an asymmetric dumbbell as a grid.
+
+    Each line-up is one ``scheme`` downloading over the ``through``
+    path while ``n`` ``reverse_scheme`` uploads (one per entry of
+    ``reverse_loads``) saturate the skinny reverse link the through
+    flow's acks share.  The ``reverse_paths`` axis pairs every cell
+    with its *pure-propagation twin* -- same base RTT, no reverse
+    queueing -- so the cost of ack-path congestion is directly
+    measurable (`rev=None` wired vs ``rev=...prop`` twin cells).
+    ``churns`` (e.g. periodic on-off with ``skip=1``) drives upload
+    session arrival/restart patterns around the persistent download.
+    """
+    controller_kwargs = controller_kwargs or {}
+    topo = dumbbell_asymmetric(bandwidth_mbps=bandwidth_mbps,
+                               delay_ms=delay_ms,
+                               reverse_bandwidth_mbps=reverse_bandwidth_mbps)
+    lineups = {}
+    for scheme in schemes:
+        for n in reverse_loads:
+            through = replace(_flow_for(scheme, controller_kwargs),
+                              path="through", label=f"{scheme}-dl")
+            uploads = tuple(FlowDef(reverse_scheme, path="reverse",
+                                    label=f"ul{i}") for i in range(n))
+            lineups[f"{scheme}-rev{n}"] = (through,) + uploads
+    twin = {"through": None, "reverse": None}
+    return ScenarioSuite(name=name or "ack-congestion", lineups=lineups,
+                         topologies=(topo,), reverse_paths=(None, twin),
+                         churns=tuple(churns), duration=duration,
+                         seeds=tuple(seeds))
 
 
 def multihop_bench_suites(schemes=MULTIHOP_BENCH_SCHEMES,

@@ -14,9 +14,9 @@ Layers, bottom-up:
 * :mod:`repro.netsim.link` -- the bottleneck link model.
 * :mod:`repro.netsim.sender` -- rate-paced and window (ack-clocked)
   senders, monitor-interval statistics.
-* :mod:`repro.netsim.topology` -- named links + per-flow paths
-  (dumbbell, N-hop chain, parking lot) and their declarative,
-  fingerprintable specs.
+* :mod:`repro.netsim.topology` -- named links + per-flow paths with
+  reverse-link routing (dumbbell, N-hop chain, parking lot, asymmetric
+  dumbbell) and their declarative, fingerprintable specs.
 * :mod:`repro.netsim.network` -- the event-driven simulation engine
   routing any number of flows over a topology.
 * :mod:`repro.netsim.history` -- the eta-length statistics history that
@@ -36,7 +36,7 @@ from repro.netsim.traces import (
     pps_to_mbps,
 )
 from repro.netsim.packet import Packet
-from repro.netsim.link import Link
+from repro.netsim.link import Link, PropagationLink
 from repro.netsim.sender import MonitorIntervalStats, Flow
 from repro.netsim.topology import (
     LinkDef,
@@ -46,6 +46,7 @@ from repro.netsim.topology import (
     TopologySpec,
     chain,
     dumbbell,
+    dumbbell_asymmetric,
     parking_lot,
 )
 from repro.netsim.network import Simulation, FlowSpec, FlowRecord
@@ -62,6 +63,7 @@ __all__ = [
     "pps_to_mbps",
     "Packet",
     "Link",
+    "PropagationLink",
     "MonitorIntervalStats",
     "Flow",
     "Path",
@@ -71,6 +73,7 @@ __all__ = [
     "TopologySpec",
     "chain",
     "dumbbell",
+    "dumbbell_asymmetric",
     "parking_lot",
     "Simulation",
     "FlowSpec",

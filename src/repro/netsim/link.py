@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.netsim.traces import BandwidthTrace, ConstantTrace
 
-__all__ = ["Link", "TransmitResult"]
+__all__ = ["Link", "PropagationLink", "TransmitResult"]
 
 
 class TransmitResult:
@@ -98,8 +98,14 @@ class Link:
 
     # --- transmission -----------------------------------------------------
 
-    def transmit(self, t: float) -> TransmitResult:
+    def transmit(self, t: float, size: float = 1.0) -> TransmitResult:
         """Offer one packet to the link at time ``t``.
+
+        ``size`` scales the service demand relative to a nominal data
+        packet (1.0): acknowledgements transiting a reverse link pass
+        their bytes-ratio (e.g. 40/1500) so they occupy the wire --
+        and the backlog, measured in packet-equivalents -- in
+        proportion to their actual size.
 
         Returns a :class:`TransmitResult`; ``depart_time`` is the time
         the packet reaches the far end of the link (queue + service +
@@ -110,11 +116,11 @@ class Link:
         normal timing).
         """
         rate = self.bandwidth_at(t)
-        service = 1.0 / rate
+        service = size / rate
         queue_delay = self.queue_delay_at(t)
         backlog = queue_delay * rate
-        # The buffer holds `queue_size` waiting packets; the packet in
-        # service occupies the server, not the buffer.
+        # The buffer holds `queue_size` waiting packet-equivalents; the
+        # packet in service occupies the server, not the buffer.
         if backlog >= self.queue_size + 1.0 - 1e-9:
             self.dropped_buffer += 1
             return TransmitResult(False, "buffer", t, queue_delay)
@@ -143,3 +149,27 @@ class Link:
     def bdp_packets(self, t: float = 0.0) -> float:
         """Bandwidth-delay product in packets at time ``t``."""
         return self.bandwidth_at(t) * self.base_rtt
+
+
+class PropagationLink(Link):
+    """A pure-propagation pseudo-link: fixed delay, no queue, no drops.
+
+    Topologies use one of these as the default *reverse* path so acks
+    and loss notices transit the return direction through the same
+    ``transmit()`` interface as data packets, while reproducing the
+    legacy scalar-``return_delay`` timing exactly: every packet departs
+    at ``t + delay``, bit-for-bit, regardless of load.  Wiring real
+    :class:`Link` objects into a path's reverse list replaces this with
+    emergent reverse-path queueing.
+    """
+
+    def __init__(self, delay: float, name: str = ""):
+        super().__init__(trace=ConstantTrace(1.0), delay=delay,
+                         queue_size=0, name=name)
+
+    def transmit(self, t: float, size: float = 1.0) -> TransmitResult:
+        # Stateless on purpose: infinite capacity, zero service time.
+        return TransmitResult(True, None, t + self.delay, 0.0)
+
+    def queue_delay_at(self, t: float) -> float:
+        return 0.0

@@ -2,18 +2,29 @@
 
 The engine advances a heap of timestamped events over the links of a
 :class:`~repro.netsim.topology.Topology`.  Each flow follows a named
-*path* (an ordered link subset with its own return delay), so a single
-simulation can mix through traffic and cross traffic over different
-link subsets -- single-bottleneck dumbbells (all the paper's
-experiments) are just the one-link, one-path special case, and a plain
+*path* (an ordered forward link subset plus an ordered reverse link
+list its acks transit), so a single simulation can mix through traffic
+and cross traffic over different link subsets in either direction --
+single-bottleneck dumbbells (all the paper's experiments) are just the
+one-link, one-path, propagation-return special case, and a plain
 ``Link`` or link list is still accepted and promoted to that shape.
 
 Event kinds:
 
 * ``send``  -- a flow attempts to emit its next packet;
-* ``ack``   -- a delivered packet's acknowledgement reaches the sender;
+* ``rcv``   -- the receiver observes the packet (or the gap a drop
+  left) and emits the ack / loss notice onto the path's *reverse
+  links*; deferring the reverse transit to this wall-clock moment
+  keeps every link's arrival stream in time order, so acks compete
+  honestly with reverse-direction data instead of poisoning shared
+  queues with future-stamped transits;
+* ``ack``   -- a delivered packet's acknowledgement reaches the sender,
+  having transited the reverse links (queueing behind reverse cross
+  traffic; pure propagation only on the default pseudo-link);
 * ``loss``  -- the sender learns a packet was lost (about one path RTT
-  after the drop, approximating duplicate-ack/timeout detection);
+  after the drop, approximating duplicate-ack/timeout detection; the
+  notice charges estimated queueing on the links past the drop and
+  transits the reverse path like an ack);
 * ``mi``    -- a flow's monitor-interval boundary.
 
 The engine supports incremental execution (``run(until=...)``) so the
@@ -40,6 +51,10 @@ MIN_RATE_PPS = 0.5
 MAX_RATE_FACTOR = 8.0
 #: Fallback monitor-interval duration when a path has zero delay.
 MIN_MI_DURATION = 0.01
+#: Wire size of an acknowledgement (bytes) -- scales the service an
+#: ack/loss notice demands from a queued reverse link relative to the
+#: flow's data packets.
+ACK_BYTES = 40
 
 
 @dataclass
@@ -116,6 +131,7 @@ class Simulation:
                 mi_duration=spec.mi_duration, keep_packets=spec.keep_packets)
             flow.path_name = path.name
             flow.links = path.links
+            flow.reverse_links = path.reverse_links
             flow.base_rtt = path.base_rtt
             flow.return_delay = path.return_delay
             flow.max_rate = MAX_RATE_FACTOR * min(
@@ -142,6 +158,8 @@ class Simulation:
                 self._handle_start(flow)
             elif kind == "send":
                 self._handle_send(flow)
+            elif kind == "rcv":
+                self._handle_receive(flow, packet)
             elif kind == "ack":
                 self._handle_ack(flow, packet)
             elif kind == "loss":
@@ -231,27 +249,71 @@ class Simulation:
                 packet.drop_kind = result.drop_kind
                 # The sender learns of the loss roughly when the gap
                 # would have been observed at the receiver plus the
-                # return delay.  A random drop happens on the wire, so
-                # ``depart_time`` already carries the normal queue +
-                # service + propagation timing of the dropping link; a
-                # buffer drop never occupies the queue, so charge the
-                # timing a surviving packet just behind it would see.
+                # reverse-path transit.  A random drop happens on the
+                # wire, so ``depart_time`` already carries the normal
+                # queue + service + propagation timing of the dropping
+                # link; a buffer drop never occupies the queue, so
+                # charge the timing a surviving packet just behind it
+                # would see.  The links past the drop charge their
+                # *current* queue occupancy plus service, not bare
+                # propagation -- the gap is observed at the receiver
+                # only after the packets already queued downstream
+                # drain ahead of it.
                 if result.drop_kind == "random":
                     loss_cursor = result.depart_time
                 else:
                     loss_cursor = cursor + result.queue_delay + link.delay
-                remaining = sum(l.delay for l in flow.links[hop + 1:])
-                notice = loss_cursor + remaining + flow.return_delay
-                self._push(notice, "loss", flow.flow_id, packet)
+                for l in flow.links[hop + 1:]:
+                    loss_cursor += (l.queue_delay_at(loss_cursor)
+                                    + 1.0 / l.bandwidth_at(loss_cursor)
+                                    + l.delay)
+                self._push(loss_cursor, "rcv", flow.flow_id, packet)
                 break
             cursor = result.depart_time
         packet.queue_delay = queue_delay
 
         if delivered:
             packet.arrival_time = cursor
-            ack_time = cursor + flow.return_delay
-            packet.ack_time = ack_time
-            self._push(ack_time, "ack", flow.flow_id, packet)
+            self._push(cursor, "rcv", flow.flow_id, packet)
+
+    def _handle_receive(self, flow: Flow, packet: Packet) -> None:
+        """The receiver observed a packet (or a drop's gap): send the
+        ack / loss notice back over the flow's reverse links."""
+        arrival, queue_delay = self._transit_reverse(flow, self.now)
+        if packet.dropped:
+            self._push(arrival, "loss", flow.flow_id, packet)
+        else:
+            packet.ack_time = arrival
+            packet.ack_queue_delay = queue_delay
+            self._push(arrival, "ack", flow.flow_id, packet)
+
+    def _transit_reverse(self, flow: Flow, cursor: float) -> tuple[float, float]:
+        """Carry an ack/loss notice over the flow's reverse links.
+
+        Returns ``(arrival_time_at_sender, accumulated_queue_delay)``.
+        Acks occupy reverse queues and compete with reverse-direction
+        data for service, at their true wire size (:data:`ACK_BYTES`
+        over the flow's packet size -- a 40 B ack takes ~1/37 the
+        service of a 1500 B data packet, so pure ack traffic only
+        congests a reverse link when the asymmetry really is that
+        extreme).  Acknowledgement information is cumulative, so a
+        congested reverse hop shows up as *delay*, never silent loss:
+        a dropped ack is delivered with the timing a packet just
+        behind the drop would see.
+        """
+        size = ACK_BYTES / flow.packet_bytes
+        queue_delay = 0.0
+        for link in flow.reverse_links:
+            result = link.transmit(cursor, size=size)
+            queue_delay += result.queue_delay
+            if result.delivered or result.drop_kind == "random":
+                # A random drop's depart_time already carries the full
+                # queue + service + propagation timing.
+                cursor = result.depart_time
+            else:
+                cursor += (result.queue_delay
+                           + size / link.bandwidth_at(cursor) + link.delay)
+        return cursor, queue_delay
 
     def _handle_ack(self, flow: Flow, packet: Packet) -> None:
         flow.note_ack(packet, self.now)

@@ -26,6 +26,9 @@ class Packet:
     dropped: bool = False
     drop_kind: str | None = None  # "buffer" | "random"
     queue_delay: float = 0.0
+    #: Queueing the acknowledgement saw on the reverse path (0.0 on a
+    #: pure-propagation return).
+    ack_queue_delay: float = 0.0
 
     @property
     def rtt(self) -> float | None:

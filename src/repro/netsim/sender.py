@@ -187,7 +187,12 @@ class Flow:
         # defaults describe a standalone flow outside any simulation).
         self.path_name: str | None = None
         self.links: tuple = ()
+        #: Ordered reverse links acks/loss notices transit (a single
+        #: pure-propagation pseudo-link unless the topology wires a
+        #: real reverse route).
+        self.reverse_links: tuple = ()
         self.base_rtt = 0.0
+        #: Propagation sum of the reverse links (no queueing).
         self.return_delay = 0.0
         self.max_rate = float("inf")
 

@@ -15,25 +15,32 @@ literature).  This module generalises the simulation substrate from
   picklable, fingerprintable description scenario grids carry; a spec
   ``build()``s a fresh live topology per run (deterministic given the
   seed).
-* :func:`dumbbell`, :func:`chain`, :func:`parking_lot` -- builders for
-  the standard shapes: one bottleneck, N bottlenecks in series, and
-  N bottlenecks in series with single-hop cross traffic.
+* :func:`dumbbell`, :func:`chain`, :func:`parking_lot`,
+  :func:`dumbbell_asymmetric` -- builders for the standard shapes: one
+  bottleneck, N bottlenecks in series, N bottlenecks in series with
+  single-hop cross traffic, and a dumbbell whose reverse direction is
+  its own (typically slower) queued link.
 
-Acks travel the return path as pure propagation (no queueing), matching
-the single-link engine's treatment of the reverse direction.
+Every path carries an ordered *reverse* link list that acks and loss
+notices physically transit (see
+:meth:`repro.netsim.network.Simulation._emit_packet`).  Paths that do
+not wire one get a :class:`~repro.netsim.link.PropagationLink`
+pseudo-link reproducing the legacy scalar ``return_delay`` timing
+bit-for-bit; wiring real links instead makes ack-path queueing, ack
+compression, and asymmetric satellite/cable routes emergent.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.netsim.link import Link
+from repro.netsim.link import Link, PropagationLink
 from repro.netsim.traces import ConstantTrace, make_trace, mbps_to_pps
 
 __all__ = ["Path", "Topology", "LinkDef", "PathDef", "TopologySpec",
-           "dumbbell", "chain", "parking_lot"]
+           "dumbbell", "chain", "parking_lot", "dumbbell_asymmetric"]
 
 #: Queue floor when sizing buffers from a BDP multiple (shared with
 #: :meth:`repro.eval.runner.EvalNetwork.queue_size`, which must size
@@ -43,13 +50,23 @@ MIN_QUEUE_PACKETS = 4
 
 @dataclass(frozen=True)
 class Path:
-    """A resolved forward route plus the return propagation delay."""
+    """A resolved forward route plus the resolved reverse route.
+
+    ``reverse_links`` is never empty: paths without explicit reverse
+    wiring carry a single pure-propagation
+    :class:`~repro.netsim.link.PropagationLink` whose delay is the
+    legacy ``return_delay``.  ``reverse_link_names`` is empty exactly
+    in that pseudo-link case.
+    """
 
     name: str
     link_names: tuple
     links: tuple
-    #: One-way propagation delay of the ack path, seconds.
+    #: One-way propagation delay of the ack path, seconds (sum of the
+    #: reverse links' propagation delays).
     return_delay: float
+    reverse_link_names: tuple = ()
+    reverse_links: tuple = ()
 
     @property
     def forward_delay(self) -> float:
@@ -76,18 +93,38 @@ class Topology:
         path.
     return_delays:
         Optional per-path return propagation delay in seconds
-        (asymmetric routes).  Paths not listed are symmetric: the
-        return delay equals the forward propagation delay.
+        (asymmetric routes without reverse queueing).  Paths not listed
+        are symmetric: the return delay equals the forward propagation
+        delay.
+    reverse_paths:
+        Optional mapping of path name to an ordered sequence of link
+        names the path's acks and loss notices traverse.  Listed paths
+        get real reverse-direction queueing (their return delay is the
+        reverse links' propagation sum); unlisted paths keep a
+        pure-propagation pseudo-link.  A path cannot appear in both
+        ``return_delays`` and ``reverse_paths``.
     """
 
     def __init__(self, links: dict, paths: dict, default_path: str | None = None,
-                 return_delays: dict | None = None):
+                 return_delays: dict | None = None,
+                 reverse_paths: dict | None = None):
         if not links:
             raise ValueError("a topology needs at least one link")
         if not paths:
             raise ValueError("a topology needs at least one path")
         self.links = dict(links)
         return_delays = return_delays or {}
+        reverse_paths = reverse_paths or {}
+        both = sorted(set(return_delays) & set(reverse_paths))
+        if both:
+            raise ValueError(f"path(s) {both} give both return_delays and "
+                             f"reverse_paths; pick one")
+        for label, mapping in (("return_delays", return_delays),
+                               ("reverse_paths", reverse_paths)):
+            unknown = sorted(set(mapping) - set(paths))
+            if unknown:
+                raise KeyError(f"{label} names unknown path(s) {unknown}; "
+                               f"known: {sorted(paths)}")
         self.paths: dict[str, Path] = {}
         for name, link_names in paths.items():
             link_names = tuple(link_names)
@@ -99,11 +136,29 @@ class Topology:
                     f"path {name!r} references unknown link(s) {missing}; "
                     f"known: {sorted(self.links)}")
             path_links = tuple(self.links[ln] for ln in link_names)
-            return_delay = return_delays.get(
-                name, sum(link.delay for link in path_links))
+            if name in reverse_paths:
+                reverse_names = tuple(reverse_paths[name])
+                if not reverse_names:
+                    raise ValueError(f"reverse path of {name!r} traverses "
+                                     f"no links")
+                missing = [ln for ln in reverse_names if ln not in self.links]
+                if missing:
+                    raise KeyError(
+                        f"reverse path of {name!r} references unknown "
+                        f"link(s) {missing}; known: {sorted(self.links)}")
+                reverse_links = tuple(self.links[ln] for ln in reverse_names)
+                return_delay = sum(link.delay for link in reverse_links)
+            else:
+                reverse_names = ()
+                return_delay = return_delays.get(
+                    name, sum(link.delay for link in path_links))
+                reverse_links = (PropagationLink(float(return_delay),
+                                                 name=f"{name}:return"),)
             self.paths[name] = Path(name=name, link_names=link_names,
                                     links=path_links,
-                                    return_delay=float(return_delay))
+                                    return_delay=float(return_delay),
+                                    reverse_link_names=reverse_names,
+                                    reverse_links=reverse_links)
         if default_path is None:
             default_path = next(iter(self.paths))
         if default_path not in self.paths:
@@ -177,14 +232,34 @@ class LinkDef:
 
 @dataclass(frozen=True)
 class PathDef:
-    """Declarative path: ordered link names + optional return delay."""
+    """Declarative path: ordered link names plus the reverse route.
+
+    ``reverse_links`` names the links acks/loss notices traverse (real
+    reverse-path queueing); ``return_delay_ms`` instead keeps the
+    reverse direction pure propagation at the given delay.  Giving
+    neither means a symmetric pure-propagation return.  Giving both is
+    an error -- a wired reverse path's return delay *is* its links'
+    propagation sum.
+    """
 
     name: str
     links: tuple
     return_delay_ms: float | None = None
+    reverse_links: tuple | None = None
 
     def __post_init__(self):
         object.__setattr__(self, "links", tuple(self.links))
+        if self.reverse_links is not None:
+            object.__setattr__(self, "reverse_links",
+                               tuple(self.reverse_links))
+            if not self.reverse_links:
+                raise ValueError(
+                    f"path {self.name!r}: reverse_links must name at least "
+                    f"one link (omit it for a pure-propagation return)")
+            if self.return_delay_ms is not None:
+                raise ValueError(
+                    f"path {self.name!r}: give either reverse_links or "
+                    f"return_delay_ms, not both")
 
 
 @dataclass(frozen=True)
@@ -220,6 +295,13 @@ class TopologySpec:
             if missing:
                 raise ValueError(f"path {p.name!r} references unknown "
                                  f"link(s) {missing}")
+            if p.reverse_links is not None:
+                missing = [ln for ln in p.reverse_links
+                           if ln not in link_names]
+                if missing:
+                    raise ValueError(
+                        f"reverse path of {p.name!r} references unknown "
+                        f"link(s) {missing}")
         if self.default_path and self.default_path not in path_names:
             raise ValueError(f"default path {self.default_path!r} is not "
                              f"one of {path_names}")
@@ -248,12 +330,19 @@ class TopologySpec:
         """Forward propagation delay of a path, milliseconds."""
         return sum(self._link(ln).delay_ms for ln in self.path(name).links)
 
+    def path_return_ms(self, name: str | None = None) -> float:
+        """Return-direction propagation delay of a path, milliseconds."""
+        p = self.path(name)
+        if p.reverse_links is not None:
+            return sum(self._link(ln).delay_ms for ln in p.reverse_links)
+        if p.return_delay_ms is not None:
+            return p.return_delay_ms
+        return self.path_one_way_ms(p.name)
+
     def path_rtt_s(self, name: str | None = None) -> float:
         """Round-trip propagation time of a path, seconds."""
         p = self.path(name)
-        forward = self.path_one_way_ms(p.name)
-        back = p.return_delay_ms if p.return_delay_ms is not None else forward
-        return (forward + back) / 1000.0
+        return (self.path_one_way_ms(p.name) + self.path_return_ms(p.name)) / 1000.0
 
     def path_bottleneck_mbps(self, name: str | None = None) -> float:
         """Nominal bottleneck capacity along a path (Mbps)."""
@@ -270,10 +359,11 @@ class TopologySpec:
 
     def _bdp_rtt_s(self, link_name: str) -> float:
         """RTT used for this link's BDP-relative buffer: the longest
-        round-trip of any path traversing the link (falls back to the
-        link's own round trip if no path uses it)."""
+        round-trip of any path traversing the link in either direction
+        (falls back to the link's own round trip if no path uses it)."""
         rtts = [self.path_rtt_s(p.name) for p in self.paths
-                if link_name in p.links]
+                if link_name in p.links
+                or (p.reverse_links is not None and link_name in p.reverse_links)]
         if rtts:
             return max(rtts)
         return 2.0 * self._link(link_name).delay_ms / 1000.0
@@ -295,9 +385,41 @@ class TopologySpec:
         paths = {p.name: p.links for p in self.paths}
         return_delays = {p.name: p.return_delay_ms / 1000.0
                          for p in self.paths if p.return_delay_ms is not None}
+        reverse_paths = {p.name: p.reverse_links for p in self.paths
+                         if p.reverse_links is not None}
         return Topology(links, paths,
                         default_path=self.default_path or self.paths[0].name,
-                        return_delays=return_delays)
+                        return_delays=return_delays,
+                        reverse_paths=reverse_paths)
+
+    def with_reverse_paths(self, reverse: dict,
+                           name: str | None = None) -> "TopologySpec":
+        """New spec with the given paths' reverse routing replaced.
+
+        ``reverse`` maps path names to either an ordered tuple of link
+        names (wire real reverse-path queueing) or ``None`` (strip the
+        wiring back to a pure-propagation pseudo-link *with the same
+        return propagation delay*, i.e. the scenario's queue-free
+        twin).  This is what the :class:`~repro.eval.scenarios
+        .ScenarioSuite` ``reverse_paths`` axis applies per grid cell.
+        """
+        known = {p.name for p in self.paths}
+        unknown = sorted(set(reverse) - known)
+        if unknown:
+            raise KeyError(f"unknown path(s) {unknown}; known: {sorted(known)}")
+        paths = []
+        for p in self.paths:
+            if p.name not in reverse:
+                paths.append(p)
+                continue
+            value = reverse[p.name]
+            if value is None:
+                paths.append(replace(p, reverse_links=None,
+                                     return_delay_ms=self.path_return_ms(p.name)))
+            else:
+                paths.append(replace(p, return_delay_ms=None,
+                                     reverse_links=tuple(value)))
+        return replace(self, paths=tuple(paths), name=name or self.name)
 
 
 def _per_hop(value, hops: int, label: str) -> list:
@@ -368,3 +490,45 @@ def parking_lot(hops: int, bandwidth_mbps=20.0, delay_ms=10.0, buffer_bdp=1.0,
     paths += [PathDef(f"cross{i}", (links[i].name,)) for i in range(hops)]
     return TopologySpec(name=name or f"parking-lot{hops}", links=links,
                         paths=tuple(paths), default_path="through")
+
+
+def dumbbell_asymmetric(bandwidth_mbps: float = 20.0, delay_ms: float = 10.0,
+                        reverse_bandwidth_mbps: float | None = None,
+                        reverse_delay_ms: float | None = None,
+                        buffer_bdp: float = 1.0,
+                        reverse_buffer_bdp: float | None = None,
+                        queue_packets: int | None = None,
+                        reverse_queue_packets: int | None = None,
+                        loss_rate: float = 0.0, trace: str | None = None,
+                        reverse_trace: str | None = None,
+                        name: str | None = None) -> TopologySpec:
+    """A dumbbell whose reverse direction is its own queued link.
+
+    The ``through`` path sends data over ``fwd`` and its acks over
+    ``rev``; the ``reverse`` path is the mirror image, so a flow placed
+    on it congests the ack path of ``through`` traffic -- the
+    ADSL/cable/satellite ack-compression shape.  ``reverse_bandwidth``
+    defaults to a tenth of the forward capacity (the classic asymmetric
+    access ratio) and ``reverse_delay`` to the forward delay.
+    """
+    if reverse_bandwidth_mbps is None:
+        reverse_bandwidth_mbps = bandwidth_mbps / 10.0
+    if reverse_delay_ms is None:
+        reverse_delay_ms = delay_ms
+    if reverse_buffer_bdp is None:
+        reverse_buffer_bdp = buffer_bdp
+    links = (
+        LinkDef(name="fwd", bandwidth_mbps=float(bandwidth_mbps),
+                delay_ms=float(delay_ms), buffer_bdp=float(buffer_bdp),
+                queue_packets=queue_packets, loss_rate=float(loss_rate),
+                trace=trace),
+        LinkDef(name="rev", bandwidth_mbps=float(reverse_bandwidth_mbps),
+                delay_ms=float(reverse_delay_ms),
+                buffer_bdp=float(reverse_buffer_bdp),
+                queue_packets=reverse_queue_packets,
+                loss_rate=float(loss_rate), trace=reverse_trace),
+    )
+    paths = (PathDef("through", ("fwd",), reverse_links=("rev",)),
+             PathDef("reverse", ("rev",), reverse_links=("fwd",)))
+    return TopologySpec(name=name or "dumbbell-asym", links=links,
+                        paths=paths, default_path="through")

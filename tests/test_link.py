@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.netsim.link import Link
+from repro.netsim.link import Link, PropagationLink
 from repro.netsim.traces import ConstantTrace
 
 
@@ -76,6 +76,46 @@ class TestTransmit:
         for _ in range(n):
             link.transmit(0.0)
             assert link.backlog_at(0.0) <= queue + 1 + 1e-6
+
+
+class TestSizedTransmit:
+    def test_small_packet_takes_proportional_service(self):
+        link = make_link(pps=100.0, delay=0.01)
+        result = link.transmit(0.0, size=0.5)
+        assert result.depart_time == pytest.approx(0.005 + 0.01)
+        assert link.busy_until == pytest.approx(0.005)
+
+    def test_default_size_unchanged(self):
+        a, b = make_link(), make_link()
+        assert a.transmit(0.0).depart_time == b.transmit(0.0, size=1.0).depart_time
+
+    def test_acks_fill_buffers_slowly(self):
+        """40/1500-sized transmits occupy backlog at their true ratio:
+        a queue that drops the 6th data packet holds ~190 acks."""
+        data, acks = make_link(pps=100.0, delay=0.0, queue=5), \
+            make_link(pps=100.0, delay=0.0, queue=5)
+        data_ok = sum(data.transmit(0.0).delivered for _ in range(200))
+        ack_ok = sum(acks.transmit(0.0, size=40 / 1500).delivered
+                     for _ in range(200))
+        assert data_ok == 6  # queue 5 + the one in service
+        assert ack_ok > 150
+
+
+class TestPropagationLink:
+    def test_pure_propagation_timing(self):
+        link = PropagationLink(0.03)
+        for t in (0.0, 1.0, 0.5):  # stateless: order does not matter
+            result = link.transmit(t)
+            assert result.delivered
+            assert result.depart_time == pytest.approx(t + 0.03)
+            assert result.queue_delay == 0.0
+
+    def test_never_queues_or_drops(self):
+        link = PropagationLink(0.01)
+        for _ in range(100):
+            assert link.transmit(0.0).delivered
+        assert link.queue_delay_at(0.0) == 0.0
+        assert link.dropped_buffer == 0
 
 
 class TestAccounting:

@@ -12,7 +12,7 @@ from repro.eval.parallel import (
 )
 from repro.eval.scenarios import ChurnSchedule, FlowDef, Scenario, ScenarioSuite
 from repro.eval.runner import EvalNetwork
-from repro.netsim.topology import parking_lot
+from repro.netsim.topology import dumbbell_asymmetric, parking_lot
 
 NET = EvalNetwork(bandwidth_mbps=8.0, one_way_ms=10.0, buffer_bdp=1.0)
 
@@ -98,6 +98,62 @@ class TestParallelRunner:
         assert cache.clear() == 0
 
 
+class TestCacheEviction:
+    def _fill(self, cache, n):
+        scenarios = ScenarioSuite(
+            name="ev", lineups=("cubic",), duration=0.5,
+            seeds=tuple(range(n))).expand()
+        for i, s in enumerate(scenarios):
+            cache.put(s.fingerprint(), s.name, [])
+        return [s.fingerprint() for s in scenarios]
+
+    def test_put_evicts_oldest_beyond_cap(self, tmp_path):
+        import os
+        cache = ResultCache(tmp_path, max_bytes=10**9)
+        prints = self._fill(cache, 6)
+        # Age the entries oldest-first, then shrink the cap to ~3 files.
+        for i, fp in enumerate(prints):
+            os.utime(cache._path(fp), (1000.0 + i, 1000.0 + i))
+        size = cache._path(prints[0]).stat().st_size
+        cache.max_bytes = 3 * size + size // 2
+        cache.put("f" * 64, "extra", [])
+        survivors = {p.stem for p in tmp_path.glob("*.json")}
+        # The oldest-touched entries were evicted first.
+        assert prints[0] not in survivors and prints[1] not in survivors
+        assert ("f" * 64) in survivors
+
+    def test_get_touches_mtime_lru(self, tmp_path):
+        import os
+        cache = ResultCache(tmp_path, max_bytes=10**9)
+        prints = self._fill(cache, 4)
+        for i, fp in enumerate(prints):
+            os.utime(cache._path(fp), (1000.0 + i, 1000.0 + i))
+        assert cache.get(prints[0]) is not None  # hit rejuvenates entry 0
+        size = cache._path(prints[0]).stat().st_size
+        removed = cache.prune(max_bytes=2 * size + size // 2)
+        assert removed == 2
+        survivors = {p.stem for p in tmp_path.glob("*.json")}
+        assert prints[0] in survivors  # kept: recently used
+        assert prints[1] not in survivors and prints[2] not in survivors
+
+    def test_prune_noop_under_cap_and_unbounded(self, tmp_path):
+        cache = ResultCache(tmp_path, max_bytes=10**9)
+        self._fill(cache, 3)
+        assert cache.prune() == 0
+        cache.max_bytes = 0  # unbounded: eviction disabled
+        assert cache.prune() == 0
+        assert len(list(tmp_path.glob("*.json"))) == 3
+
+    def test_runner_passes_cap_through(self, tmp_path):
+        runner = ParallelRunner(n_workers=1, cache_dir=tmp_path,
+                                cache_max_bytes=123456)
+        assert runner.cache.max_bytes == 123456
+
+    def test_env_var_sets_default_cap(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULT_CACHE_MAX_MB", "1.5")
+        assert ResultCache(tmp_path).max_bytes == 1_500_000
+
+
 #: A parking-lot grid with churning cross traffic -- the
 #: multi-bottleneck acceptance shape: >= 2 bottlenecks, staggered and
 #: on-off arrival/departure schedules, all driven through suite axes.
@@ -167,6 +223,47 @@ class TestMultihopChurn:
         cross1 = result.records[2]
         assert cross1.records[0].start >= 2.0
         assert all(s.end <= 6.0 for s in cross1.records)
+
+
+#: The reverse-path acceptance grid: an asymmetric dumbbell where the
+#: download's acks share the skinny uplink with CUBIC uploads that
+#: restart periodically -- wired cells paired with their
+#: pure-propagation twins, across two seeds.
+REVERSE_SUITE = ScenarioSuite(
+    name="rev",
+    lineups={"dl+ul": (FlowDef("bbr", path="through", label="dl"),
+                       FlowDef("cubic", path="reverse", label="ul"))},
+    topologies=(dumbbell_asymmetric(12.0, delay_ms=8.0),),
+    reverse_paths=(None, {"through": None, "reverse": None}),
+    churns=(None, ChurnSchedule("on-off", gap=1.0, on_time=2.5, period=4.0,
+                                skip=1)),
+    seeds=(0, 1), duration=6.0)
+
+
+class TestReversePathDeterminism:
+    def test_parallel_matches_serial_bit_identical(self):
+        serial = ParallelRunner(n_workers=1, use_cache=False)
+        parallel = ParallelRunner(n_workers=2, use_cache=False)
+        assert _flat(serial.run(REVERSE_SUITE)) == _flat(parallel.run(REVERSE_SUITE))
+
+    def test_cache_round_trip(self, tmp_path):
+        runner = ParallelRunner(n_workers=2, cache_dir=tmp_path)
+        first = runner.run(REVERSE_SUITE)
+        assert first.cache_misses == len(REVERSE_SUITE) == 8
+        second = runner.run(REVERSE_SUITE)
+        assert second.cache_hits == 8
+        assert _flat(first) == _flat(second)
+
+    def test_wired_cells_cost_rtt_twins_do_not(self):
+        outcome = ParallelRunner(n_workers=2, use_cache=False).run(
+            REVERSE_SUITE)
+        wired, twin = [], []
+        for result in outcome:
+            dl_rtt = result.records[0].mean_rtt
+            is_twin = "prop" in (result.scenario.name.split("rev=")[1]
+                                 .split("/")[0])
+            (twin if is_twin else wired).append(dl_rtt)
+        assert min(wired) > max(twin)
 
 
 def _failing_suite():

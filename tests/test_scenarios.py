@@ -15,7 +15,7 @@ from repro.eval.scenarios import (
     _agent_signature,
     run_scenario,
 )
-from repro.netsim.topology import dumbbell, parking_lot
+from repro.netsim.topology import dumbbell, dumbbell_asymmetric, parking_lot
 from repro.netsim.traces import (
     ConstantTrace,
     StepTrace,
@@ -180,6 +180,67 @@ class TestChurnSchedule:
     def test_label_is_stable(self):
         assert ChurnSchedule("on-off", gap=3.0, on_time=4.0, skip=1).label() \
             == "on-off-g3-on4-s1"
+        assert ChurnSchedule("on-off", gap=3.0, period=8.0,
+                             duty=0.25).label() == "on-off-g3-p8-d0.25"
+
+
+class TestPeriodicChurn:
+    def test_periodic_windows_repeat_until_duration(self):
+        churn = ChurnSchedule("on-off", gap=2.0, on_time=1.5, period=5.0)
+        wins = churn.all_windows(2, 12.0)
+        assert wins[0] == [(0.0, 1.5), (5.0, 6.5), (10.0, 11.5)]
+        assert wins[1] == [(2.0, 3.5), (7.0, 8.5)]
+        # windows() keeps its single-window contract: the first repeat.
+        assert churn.windows(2, 12.0) == [(0.0, 1.5), (2.0, 3.5)]
+
+    def test_duty_sizes_the_window(self):
+        churn = ChurnSchedule("on-off", gap=0.0, period=4.0, duty=0.5)
+        assert churn.all_windows(1, 8.0)[0] == [(0.0, 2.0), (4.0, 6.0)]
+
+    def test_apply_expands_repeats_into_fresh_sessions(self):
+        churn = ChurnSchedule("on-off", gap=1.0, offset=1.0, on_time=2.0,
+                              period=6.0, skip=1)
+        flows = (FlowDef("bbr", label="dl"), FlowDef("cubic", label="ul"))
+        out = churn.apply(flows, 14.0)
+        assert out[0] == flows[0]  # skipped flow untouched
+        churned = out[1:]
+        assert [(f.start, f.stop) for f in churned] == \
+            [(1.0, 3.0), (7.0, 9.0), (13.0, 15.0)]
+        assert [f.display_label() for f in churned] == ["ul", "ul~r1", "ul~r2"]
+        assert all(f.scheme == "cubic" for f in churned)
+
+    def test_non_periodic_apply_shape_unchanged(self):
+        churn = ChurnSchedule("on-off", gap=2.0, on_time=3.0)
+        flows = (FlowDef("cubic"), FlowDef("cubic"))
+        assert len(churn.apply(flows, 10.0)) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="only apply to on-off"):
+            ChurnSchedule("staggered", period=5.0)
+        with pytest.raises(ValueError, match="period must be positive"):
+            ChurnSchedule("on-off", period=0.0)
+        with pytest.raises(ValueError, match="needs a period"):
+            ChurnSchedule("on-off", duty=0.5)
+        with pytest.raises(ValueError, match="not both"):
+            ChurnSchedule("on-off", period=5.0, duty=0.5, on_time=1.0)
+        with pytest.raises(ValueError, match="duty must be in"):
+            ChurnSchedule("on-off", period=5.0, duty=1.5)
+        with pytest.raises(ValueError, match="exceed period"):
+            ChurnSchedule("on-off", period=2.0, on_time=3.0)
+
+    def test_scenario_runs_repeating_sessions(self):
+        scenario = Scenario(
+            name="rep", network=NET, flows=("bbr", "cubic"), duration=10.0,
+            churn=ChurnSchedule("on-off", gap=0.0, on_time=2.0, period=4.0,
+                                skip=1))
+        # bbr persists; cubic gets sessions [0,2), [4,6), [8,10).
+        assert len(scenario.flows) == 4
+        records = run_scenario(scenario)
+        assert len(records) == 4
+        session = records[2]  # cubic's second session
+        assert session.records[0].start >= 4.0
+        assert all(s.end <= 10.0 for s in session.records)
+        assert session.mean_throughput_pps > 0
 
 
 class TestTopologyScenarios:
@@ -368,3 +429,43 @@ class TestScenarioSuite:
                               topologies=(parking_lot(2),))
         scenario = suite.expand()[0]
         assert scenario.trace is None and scenario.topology is not None
+
+
+class TestReversePathsAxis:
+    TWIN = {"through": None, "reverse": None}
+
+    def suite(self, **kwargs):
+        kwargs.setdefault("duration", 2.0)
+        return ScenarioSuite(
+            name="rp", lineups={"dl": (FlowDef("cubic", path="through"),
+                                       FlowDef("cubic", path="reverse"))},
+            topologies=(dumbbell_asymmetric(16.0, delay_ms=8.0),),
+            reverse_paths=(None, self.TWIN), **kwargs)
+
+    def test_axis_expands_wired_and_twin_cells(self):
+        suite = self.suite()
+        assert len(suite) == 2
+        wired, twin = suite.expand()
+        assert wired.topology.path("through").reverse_links == ("rev",)
+        assert twin.topology.path("through").reverse_links is None
+        assert twin.topology.path("through").return_delay_ms == pytest.approx(8.0)
+        assert "rev=None" in wired.name
+        assert "rev=reverse:prop,through:prop" in twin.name
+
+    def test_axis_needs_topology(self):
+        with pytest.raises(ValueError, match="must be a TopologySpec"):
+            ScenarioSuite(name="x", lineups=("cubic",),
+                          reverse_paths=(None, self.TWIN))
+
+    def test_fingerprint_sensitive_to_reverse_wiring(self):
+        wired, twin = self.suite().expand()
+        assert wired.fingerprint() != twin.fingerprint()
+
+    def test_congested_reverse_raises_mean_rtt_vs_twin(self):
+        """The acceptance shape: same propagation, same load -- the
+        wired cell's download RTT is measurably higher because its acks
+        queue behind the upload; the twin is blind to it."""
+        wired, twin = self.suite(duration=5.0, seeds=(4,)).expand()
+        rtt_wired = run_scenario(wired)[0].mean_rtt
+        rtt_twin = run_scenario(twin)[0].mean_rtt
+        assert rtt_wired > 1.3 * rtt_twin

@@ -4,7 +4,7 @@ multi-bottleneck simulation semantics (per-flow paths and RTTs)."""
 import numpy as np
 import pytest
 
-from repro.netsim.link import Link
+from repro.netsim.link import Link, PropagationLink
 from repro.netsim.network import FlowSpec, Simulation
 from repro.netsim.sender import ExternalRateController
 from repro.netsim.topology import (
@@ -14,6 +14,7 @@ from repro.netsim.topology import (
     TopologySpec,
     chain,
     dumbbell,
+    dumbbell_asymmetric,
     parking_lot,
 )
 from repro.netsim.traces import ConstantTrace
@@ -61,6 +62,43 @@ class TestLiveTopology:
             Topology({"a": make_link()}, {})
         with pytest.raises(ValueError, match="no links"):
             Topology({"a": make_link()}, {"p": ()})
+
+    def test_default_reverse_is_propagation_pseudo_link(self):
+        topo = Topology.single_path([make_link(delay=0.01),
+                                     make_link(delay=0.02)])
+        path = topo.path()
+        assert path.reverse_link_names == ()
+        assert len(path.reverse_links) == 1
+        assert isinstance(path.reverse_links[0], PropagationLink)
+        assert path.reverse_links[0].delay == pytest.approx(0.03)
+
+    def test_wired_reverse_path(self):
+        links = {"fwd": make_link(delay=0.01, name="fwd"),
+                 "rev": make_link(delay=0.03, name="rev")}
+        topo = Topology(links, {"p": ("fwd",)},
+                        reverse_paths={"p": ("rev",)})
+        path = topo.path("p")
+        assert path.reverse_link_names == ("rev",)
+        assert path.reverse_links == (links["rev"],)
+        # Return delay is the reverse links' propagation sum.
+        assert path.return_delay == pytest.approx(0.03)
+        assert path.base_rtt == pytest.approx(0.04)
+
+    def test_reverse_path_validation(self):
+        links = {"a": make_link()}
+        with pytest.raises(KeyError, match="unknown link"):
+            Topology(links, {"p": ("a",)}, reverse_paths={"p": ("zz",)})
+        with pytest.raises(ValueError, match="no links"):
+            Topology(links, {"p": ("a",)}, reverse_paths={"p": ()})
+        with pytest.raises(ValueError, match="pick one"):
+            Topology(links, {"p": ("a",)}, return_delays={"p": 0.05},
+                     reverse_paths={"p": ("a",)})
+        # A typo'd path name must fail loudly, not silently fall back
+        # to the pure-propagation return.
+        with pytest.raises(KeyError, match="unknown path"):
+            Topology(links, {"p": ("a",)}, reverse_paths={"q": ("a",)})
+        with pytest.raises(KeyError, match="unknown path"):
+            Topology(links, {"p": ("a",)}, return_delays={"q": 0.05})
 
 
 class TestTopologySpec:
@@ -121,6 +159,50 @@ class TestTopologySpec:
     def test_queue_packets_overrides_bdp(self):
         spec = dumbbell(queue_packets=7)
         assert spec.build().links["hop0"].queue_size == 7
+
+    def test_pathdef_reverse_validation(self):
+        with pytest.raises(ValueError, match="not both"):
+            PathDef("p", ("a",), return_delay_ms=5.0, reverse_links=("b",))
+        with pytest.raises(ValueError, match="at least one link"):
+            PathDef("p", ("a",), reverse_links=())
+        with pytest.raises(ValueError, match="reverse path of 'p'"):
+            TopologySpec(name="t", links=(LinkDef("a"),),
+                         paths=(PathDef("p", ("a",), reverse_links=("zz",)),))
+
+    def test_dumbbell_asymmetric_shape(self):
+        spec = dumbbell_asymmetric(20.0, delay_ms=10.0)
+        assert [ld.name for ld in spec.links] == ["fwd", "rev"]
+        assert spec._link("rev").bandwidth_mbps == pytest.approx(2.0)
+        assert spec.path("through").links == ("fwd",)
+        assert spec.path("through").reverse_links == ("rev",)
+        assert spec.path("reverse").reverse_links == ("fwd",)
+        assert spec.default_path == "through"
+        # Symmetric delays by default: 20 ms round trip either way.
+        assert spec.path_rtt_s("through") == pytest.approx(0.02)
+        assert spec.path_return_ms("through") == pytest.approx(10.0)
+
+    def test_asymmetric_build_wires_reverse_links(self):
+        topo = dumbbell_asymmetric(16.0, delay_ms=8.0,
+                                   reverse_delay_ms=24.0).build()
+        path = topo.path("through")
+        assert path.reverse_links == (topo.links["rev"],)
+        assert path.base_rtt == pytest.approx(0.032)
+
+    def test_with_reverse_paths_wires_and_strips(self):
+        spec = dumbbell_asymmetric(16.0, delay_ms=8.0, reverse_delay_ms=24.0)
+        twin = spec.with_reverse_paths({"through": None, "reverse": None})
+        # The twin keeps the same propagation RTT without queued links.
+        assert twin.path("through").reverse_links is None
+        assert twin.path("through").return_delay_ms == pytest.approx(24.0)
+        assert twin.path_rtt_s("through") == pytest.approx(spec.path_rtt_s("through"))
+        built = twin.build()
+        assert isinstance(built.path("through").reverse_links[0],
+                          PropagationLink)
+        # Re-wiring the twin round-trips to the original shape.
+        rewired = twin.with_reverse_paths({"through": ("rev",)})
+        assert rewired.path("through").reverse_links == ("rev",)
+        with pytest.raises(KeyError, match="unknown path"):
+            spec.with_reverse_paths({"nope": ("rev",)})
 
 
 class TestSimulationOverTopology:
@@ -224,6 +306,38 @@ class TestSimulationOverTopology:
         flow = sim.flows[0]
         assert flow.total_acked + flow.total_lost + flow.inflight == flow.total_sent
 
+    def test_loss_notice_charges_downstream_queue_occupancy(self):
+        """Regression (fails on the pure-propagation engine): a buffer
+        drop on hop 0 while hop 1 holds a deep queue must push the loss
+        notice out by that queue's drain time, not bare propagation.
+
+        80 pps into a 40 pps hop with a 2-packet buffer: half the
+        packets buffer-drop on hop 0.  The survivors (40 pps) overload
+        the 30 pps second hop, whose queue grows ~10 pkt/s.  Under pure
+        propagation every notice lands exactly at ``send + q0 + d0 +
+        d1 + return``; with occupancy charging, late notices trail that
+        bound by the seconds of queue standing on hop 1.
+        """
+        a = make_link(pps=40.0, delay=0.01, queue=2, seed=20)
+        b = make_link(pps=30.0, delay=0.05, queue=1000, seed=21)
+        losses = []
+
+        class Recorder(ExternalRateController):
+            def on_loss(self, flow, packet, now):
+                losses.append((now, packet))
+
+        sim = Simulation([a, b], [FlowSpec(Recorder(80.0))], duration=8.0,
+                         seed=22)
+        sim.run_all()
+        assert len(losses) > 50
+        # Every drop here is a hop-0 buffer drop, so the old engine's
+        # notice time is exactly reconstructable per packet.
+        excess = [now - (p.send_time + p.queue_delay + a.delay + b.delay
+                         + 0.06)
+                  for now, p in losses]
+        assert min(excess) > 0.0  # at least hop-1 service is charged
+        assert max(excess) > 0.5  # standing hop-1 queue dominates late notices
+
     def test_legacy_link_list_equivalent_to_single_path_topology(self):
         def run(arg):
             sim = Simulation(arg, [FlowSpec(ExternalRateController(80.0))],
@@ -234,3 +348,58 @@ class TestSimulationOverTopology:
         links1 = [make_link(seed=15), make_link(seed=16, delay=0.01)]
         links2 = [make_link(seed=15), make_link(seed=16, delay=0.01)]
         assert run(links1) == run(Topology.single_path(links2))
+
+
+def asym_topology(rev_pps=50.0, wire=True):
+    """A live asymmetric dumbbell: fast ``fwd``, skinny queued ``rev``."""
+    links = {"fwd": make_link(pps=1000.0, delay=0.01, queue=200, name="fwd"),
+             "rev": make_link(pps=rev_pps, delay=0.01, queue=200, name="rev")}
+    reverse = {"through": ("rev",), "up": ("fwd",)} if wire else {}
+    return Topology(links, {"through": ("fwd",), "up": ("rev",)},
+                    default_path="through", reverse_paths=reverse)
+
+
+class TestReversePathQueueing:
+    def run_through(self, topo, upload_rate):
+        specs = [FlowSpec(ExternalRateController(50.0), path="through",
+                          keep_packets=True)]
+        if upload_rate:
+            specs.append(FlowSpec(ExternalRateController(upload_rate),
+                                  path="up"))
+        sim = Simulation(topo, specs, duration=6.0, seed=30)
+        record = sim.run_all()[0]
+        return record, sim.flows[0]
+
+    def test_idle_reverse_link_is_almost_pure_propagation(self):
+        # Allow forward + ack serialization (~1.5 ms here) but no queueing.
+        record, flow = self.run_through(asym_topology(), upload_rate=0.0)
+        assert record.mean_rtt == pytest.approx(flow.base_rtt, rel=0.10)
+        assert all(p.ack_queue_delay == 0.0 for p in flow.packets
+                   if p.ack_time is not None)
+
+    def test_loaded_reverse_link_delays_acks(self):
+        """Ack delay strictly exceeds pure propagation when the reverse
+        link carries competing data -- the physically-impossible-before
+        regime this PR opens."""
+        # Uploads at 100 pps into the 50 pps reverse link: its queue is
+        # permanently deep, and through-flow acks wait in it.
+        record, flow = self.run_through(asym_topology(), upload_rate=100.0)
+        acked = [p for p in flow.packets if p.ack_time is not None]
+        assert acked and any(p.ack_queue_delay > 0.0 for p in acked)
+        assert record.mean_rtt > 1.5 * flow.base_rtt
+        # The inflation is *reverse-path* queueing: the forward link
+        # (1000 pps vs a 50 pps sender) never queues.
+        assert all(p.queue_delay == pytest.approx(0.0, abs=1e-6)
+                   for p in acked)
+
+    def test_pure_propagation_twin_unaffected_by_reverse_load(self):
+        record_wired, _ = self.run_through(asym_topology(), upload_rate=100.0)
+        record_twin, flow = self.run_through(asym_topology(wire=False),
+                                             upload_rate=100.0)
+        assert record_twin.mean_rtt == pytest.approx(flow.base_rtt, rel=0.10)
+        assert record_wired.mean_rtt > 1.5 * record_twin.mean_rtt
+
+    def test_ack_path_delay_shows_up_in_mean_rtt_only_when_wired(self):
+        quiet, _ = self.run_through(asym_topology(), upload_rate=0.0)
+        loaded, _ = self.run_through(asym_topology(), upload_rate=100.0)
+        assert loaded.mean_rtt > quiet.mean_rtt + 0.01
