@@ -20,7 +20,9 @@ Headline shapes asserted:
 * with uploads present, the wired download RTT is measurably above its
   twin -- ack-path queueing the twin cannot see;
 * downloads keep a usable share of the forward bottleneck even under
-  ack congestion (acks are delayed, never silently lost).
+  ack congestion (delayed acks dominate; a buffer-dropped ack really
+  is lost since PR 4, but cumulative-ack recovery and the retransmit
+  timeout keep the sender's accounting whole).
 """
 
 import numpy as np

@@ -1,0 +1,122 @@
+"""Eager-vs-event queueing divergence on shared downstream hops.
+
+The pre-refactor engine computed every forward hop transit at emit
+time, so a through flow's packets hit downstream queues with
+*future-stamped* cursors -- out of time order with the cross traffic
+actually arriving there, silently reserving buffer and service ahead
+of it.  The event-driven per-hop scheduler (PR 4) dequeues each packet
+at its true arrival time instead.
+
+This benchmark quantifies what that honesty is worth on the
+:func:`~repro.eval.sweeps.shared_hop_suites` grid: heuristic through
+schemes vs. per-hop CUBIC cross traffic on a parking lot, every cell
+run under both engines, plus a single-bottleneck control grid where
+the two engines are bit-identical by construction (no intermediate hop
+exists to misstate).
+
+Headline shapes asserted:
+
+* the control grid agrees exactly: wiring the event scheduler costs
+  nothing where the eager scheme was already honest;
+* the parking-lot grid diverges measurably: the queueing signal
+  (RTT and/or loss) the through scheme sees shifts once shared-hop
+  arrivals are honestly ordered;
+* both engines keep every through flow live (the divergence is a
+  correction, not a collapse).
+
+Timing and throughput (wall time, cells/sec) are written to
+``BENCH_shared_hop.json`` (in ``BENCH_OUTPUT_DIR``, default the
+working directory) for CI trend tracking.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+from conftest import print_table, run_once
+
+from repro.eval.sweeps import (
+    SHARED_HOP_BENCH_BANDWIDTH,
+    SHARED_HOP_BENCH_SCHEMES,
+    shared_hop_suites,
+)
+from repro.netsim.traces import mbps_to_pps
+
+
+def bench_shared_hop_contention(benchmark, runner):
+    """Parking-lot divergence + single-bottleneck identity, timed."""
+    lot_suite, control_suite = shared_hop_suites()
+
+    t0 = time.perf_counter()
+
+    def experiment():
+        return runner.run(lot_suite), runner.run(control_suite)
+
+    lot, control = run_once(benchmark, experiment)
+    wall = time.perf_counter() - t0
+    cells = len(lot) + len(control)
+
+    # cells[(suite, scheme, seed)][transit] = through-flow record
+    grid = {}
+    for tag, outcome in (("lot", lot), ("ctrl", control)):
+        for result in outcome:
+            scheme = result.scenario.lineup.removesuffix("-through")
+            key = (tag, scheme, result.scenario.seed)
+            grid.setdefault(key, {})[result.scenario.transit] = \
+                result.records[0]
+
+    rows, divergence = [], []
+    for (tag, scheme, seed), pair in sorted(grid.items()):
+        ev, ea = pair["event"], pair["eager"]
+        d_rtt = abs(ev.mean_rtt - ea.mean_rtt) / ea.mean_rtt
+        d_thr = (abs(ev.mean_throughput_pps - ea.mean_throughput_pps)
+                 / max(ea.mean_throughput_pps, 1e-9))
+        d_loss = abs(ev.loss_rate - ea.loss_rate)
+        rows.append([tag, scheme, seed, ev.mean_throughput_pps,
+                     ea.mean_throughput_pps, d_rtt, d_loss])
+        if tag == "lot":
+            divergence.append(max(d_rtt, d_thr, d_loss))
+        else:
+            # Single bottleneck: the engines must agree bit-for-bit.
+            assert ev.mean_throughput_pps == ea.mean_throughput_pps, \
+                (scheme, seed)
+            assert ev.mean_rtt == ea.mean_rtt, (scheme, seed)
+            assert ev.loss_rate == ea.loss_rate, (scheme, seed)
+    print_table("Shared-hop contention: event engine vs eager twin",
+                ["grid", "scheme", "seed", "event thr", "eager thr",
+                 "d_rtt", "d_loss"], rows)
+
+    # Honest shared-hop ordering visibly moves the queueing signal.
+    assert np.mean(divergence) > 0.02, divergence
+    assert max(divergence) > 0.05, divergence
+    # A correction, not a collapse: every through flow stays usable
+    # under both engines.
+    bottleneck_pps = mbps_to_pps(SHARED_HOP_BENCH_BANDWIDTH)
+    for (tag, scheme, seed), pair in grid.items():
+        for record in pair.values():
+            assert record.mean_throughput_pps / bottleneck_pps > 0.02, \
+                (tag, scheme, seed)
+
+    # Throughput over *executed* cells only: on a warm result cache the
+    # run is pure cache reads, and cells/wall would report a bogus
+    # orders-of-magnitude speedup to whoever tracks the trend.
+    executed = lot.cache_misses + control.cache_misses
+    out = {
+        "benchmark": "shared_hop_contention",
+        "cells": cells,
+        "wall_time_s": round(wall, 3),
+        "executed_cells": executed,
+        "cells_per_sec": (round(executed / wall, 3) if executed else None),
+        "cache_hits": lot.cache_hits + control.cache_hits,
+        "cache_misses": executed,
+        "schemes": list(SHARED_HOP_BENCH_SCHEMES),
+        "mean_lot_divergence": round(float(np.mean(divergence)), 4),
+        "max_lot_divergence": round(float(np.max(divergence)), 4),
+    }
+    path = Path(os.environ.get("BENCH_OUTPUT_DIR", ".")) / "BENCH_shared_hop.json"
+    path.write_text(json.dumps(out, indent=2))
+    rate = (f"{out['cells_per_sec']} simulated cells/sec" if executed
+            else "all cells cache-served")
+    print(f"\nwrote {path} ({rate}, {out['cache_hits']} cache hits)")

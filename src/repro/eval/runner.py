@@ -114,22 +114,27 @@ def scheme_factory(name: str, network: EvalNetwork, seed: int = 0,
 
 
 def run_scheme(controller, network: EvalNetwork, duration: float = 30.0,
-               seed: int = 0, mi_duration: float | None = None) -> FlowRecord:
+               seed: int = 0, mi_duration: float | None = None,
+               transit: str = "event") -> FlowRecord:
     """Run one flow of ``controller`` over ``network``; return aggregates."""
     link = network.build_link(seed=seed * 31 + 17)
     spec = FlowSpec(controller=controller, packet_bytes=network.packet_bytes,
                     mi_duration=mi_duration)
-    sim = Simulation(link, [spec], duration=duration, seed=seed)
+    sim = Simulation(link, [spec], duration=duration, seed=seed,
+                     transit=transit)
     return sim.run_all()[0]
 
 
 def run_competition(controllers, network: EvalNetwork, duration: float = 60.0,
                     start_times=None, stop_times=None, seed: int = 0,
-                    mi_duration: float | None = None) -> list[FlowRecord]:
+                    mi_duration: float | None = None,
+                    transit: str = "event") -> list[FlowRecord]:
     """Run several controllers sharing the bottleneck (dumbbell setup).
 
     ``start_times``/``stop_times`` allow the staggered-flow arrivals of
-    the fairness experiment (Fig. 11).
+    the fairness experiment (Fig. 11).  ``transit`` selects the
+    hop-transit scheme (bit-identical either way on this single-link
+    shape; see :class:`~repro.netsim.network.Simulation`).
     """
     n = len(controllers)
     start_times = start_times or [0.0] * n
@@ -138,5 +143,6 @@ def run_competition(controllers, network: EvalNetwork, duration: float = 60.0,
     specs = [FlowSpec(controller=c, packet_bytes=network.packet_bytes,
                       start_time=t0, stop_time=t1, mi_duration=mi_duration)
              for c, t0, t1 in zip(controllers, start_times, stop_times)]
-    sim = Simulation(link, specs, duration=duration, seed=seed)
+    sim = Simulation(link, specs, duration=duration, seed=seed,
+                     transit=transit)
     return sim.run_all()

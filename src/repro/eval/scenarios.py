@@ -45,8 +45,9 @@ __all__ = ["AgentRef", "ChurnSchedule", "FlowDef", "Scenario", "ScenarioSuite",
            "run_scenario"]
 
 #: Bumped whenever scenario execution changes in a way that invalidates
-#: previously cached results.
-SCENARIO_CACHE_VERSION = "v3"
+#: previously cached results.  v4: event-driven per-hop forward transit
+#: (plus per-path ack sizes and real ack loss on queued reverse paths).
+SCENARIO_CACHE_VERSION = "v4"
 
 
 def _simulation_code_digest() -> str:
@@ -229,7 +230,8 @@ def _topology_signature(spec: TopologySpec | None) -> list | None:
             entry.append(_trace_signature(make_trace(ld.trace)))
         links.append(entry)
     paths = [[p.name, list(p.links), p.return_delay_ms,
-              None if p.reverse_links is None else list(p.reverse_links)]
+              None if p.reverse_links is None else list(p.reverse_links),
+              p.ack_bytes]
              for p in spec.paths]
     return [links, paths, spec.default_path]
 
@@ -387,6 +389,11 @@ class Scenario:
     topology: TopologySpec | None = None
     #: Churn schedule applied to the flow line-up at construction.
     churn: ChurnSchedule | None = None
+    #: Hop-transit scheme: ``"event"`` (per-hop arrival-time events,
+    #: the production engine) or ``"eager"`` (the pre-refactor
+    #: emit-time transit, kept as a comparison twin -- see
+    #: :class:`repro.netsim.network.Simulation`).
+    transit: str = "event"
     suite: str = ""
     #: Display label of the line-up this scenario came from (set by
     #: :meth:`ScenarioSuite.expand`); lets consumers key results
@@ -400,6 +407,9 @@ class Scenario:
         if self.churn is not None:
             flows = self.churn.apply(flows, self.duration)
         object.__setattr__(self, "flows", flows)
+        if self.transit not in ("event", "eager"):
+            raise ValueError(f"unknown transit mode {self.transit!r}; "
+                             f"use 'event' or 'eager'")
         if self.trace is not None and self.network.trace is not None:
             raise ValueError("give either a named trace or network.trace, not both")
         if self.topology is not None:
@@ -450,6 +460,7 @@ class Scenario:
             "duration": float(self.duration),
             "seed": int(self.seed),
             "mi_duration": self.mi_duration,
+            "transit": self.transit,
         }
         blob = json.dumps(payload, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()
@@ -498,7 +509,8 @@ def run_scenario(scenario: Scenario) -> list[FlowRecord]:
         stops.append(flow.stop)
     return run_competition(controllers, network, duration=scenario.duration,
                            start_times=starts, stop_times=stops,
-                           seed=scenario.seed, mi_duration=scenario.mi_duration)
+                           seed=scenario.seed, mi_duration=scenario.mi_duration,
+                           transit=scenario.transit)
 
 
 def _run_topology_scenario(scenario: Scenario) -> list[FlowRecord]:
@@ -526,7 +538,7 @@ def _run_topology_scenario(scenario: Scenario) -> list[FlowRecord]:
             packet_bytes=packet_bytes, mi_duration=scenario.mi_duration,
             path=flow.path))
     sim = Simulation(topology, flow_specs, duration=scenario.duration,
-                     seed=scenario.seed)
+                     seed=scenario.seed, transit=scenario.transit)
     return sim.run_all()
 
 
@@ -580,7 +592,11 @@ class ScenarioSuite:
       topology via :meth:`TopologySpec.with_reverse_paths` -- needs a
       non-``None`` topology;
     * ``churns`` -- :class:`ChurnSchedule` entries rewriting the
-      line-up's start/stop times (``None`` = the line-up's own times).
+      line-up's start/stop times (``None`` = the line-up's own times);
+    * ``transits`` -- hop-transit schemes (``"event"`` and/or
+      ``"eager"``): pairing both runs every cell under the per-hop
+      event engine *and* its eager emit-time twin, the grid shape the
+      shared-hop divergence benchmarks diff.
 
     ``expand()`` returns the cross product as concrete
     :class:`Scenario` objects with stable, human-readable names.
@@ -596,6 +612,7 @@ class ScenarioSuite:
     topologies: tuple = (None,)
     reverse_paths: tuple = (None,)
     churns: tuple = (None,)
+    transits: tuple = ("event",)
     seeds: tuple = (0,)
     duration: float = 20.0
     mi_duration: float | None = None
@@ -605,7 +622,7 @@ class ScenarioSuite:
         object.__setattr__(self, "lineups", _coerce_lineups(self.lineups))
         for axis in ("bandwidths_mbps", "rtts_ms", "losses", "buffers",
                      "traces", "topologies", "reverse_paths", "churns",
-                     "seeds"):
+                     "transits", "seeds"):
             object.__setattr__(self, axis, tuple(getattr(self, axis)))
         if any(rev is not None for rev in self.reverse_paths) and \
                 any(topo is None for topo in self.topologies):
@@ -617,7 +634,7 @@ class ScenarioSuite:
         return (len(self.lineups) * len(self.bandwidths_mbps) * len(self.rtts_ms)
                 * len(self.losses) * len(self.buffers) * len(self.traces)
                 * len(self.topologies) * len(self.reverse_paths)
-                * len(self.churns) * len(self.seeds))
+                * len(self.churns) * len(self.transits) * len(self.seeds))
 
     def _network(self, bandwidth, rtt, loss, buffer, trace) -> EvalNetwork:
         is_packets = isinstance(buffer, (int, np.integer)) and not isinstance(buffer, bool)
@@ -633,13 +650,13 @@ class ScenarioSuite:
                 ("loss", self.losses), ("buf", self.buffers),
                 ("trace", self.traces), ("topo", self.topologies),
                 ("rev", self.reverse_paths), ("churn", self.churns),
-                ("seed", self.seeds)]
+                ("transit", self.transits), ("seed", self.seeds)]
         varying = {label for label, values in axes if len(values) > 1}
         for (label, flows), bw, rtt, loss, buf, trace, topo, rev, churn, \
-                seed in product(
+                transit, seed in product(
                 self.lineups, self.bandwidths_mbps, self.rtts_ms, self.losses,
                 self.buffers, self.traces, self.topologies,
-                self.reverse_paths, self.churns, self.seeds):
+                self.reverse_paths, self.churns, self.transits, self.seeds):
             if rev is not None:
                 topo = topo.with_reverse_paths(rev)
             parts = [label]
@@ -648,9 +665,9 @@ class ScenarioSuite:
                       "topo": topo.name if topo is not None else None,
                       "rev": _reverse_label(rev),
                       "churn": churn.label() if churn is not None else None,
-                      "seed": seed}
+                      "transit": transit, "seed": seed}
             for axis in ("bw", "rtt", "loss", "buf", "trace", "topo",
-                         "rev", "churn", "seed"):
+                         "rev", "churn", "transit", "seed"):
                 if axis in varying:
                     parts.append(f"{axis}={values[axis]}")
             scenarios.append(Scenario(
@@ -659,8 +676,8 @@ class ScenarioSuite:
                 flows=flows, duration=self.duration, seed=int(seed),
                 mi_duration=self.mi_duration,
                 trace=None if topo is not None else trace,
-                topology=topo, churn=churn, suite=self.name,
-                lineup=label))
+                topology=topo, churn=churn, transit=transit,
+                suite=self.name, lineup=label))
         return scenarios
 
 

@@ -81,6 +81,14 @@ class Link:
         self.delivered = 0
         self.dropped_buffer = 0
         self.dropped_random = 0
+        #: Timestamp of the most recent ``transmit()`` offer.  A FIFO
+        #: server only sees time-ordered arrivals; the eager transit
+        #: scheme violates that on shared downstream hops (it offers
+        #: future-stamped packets interleaved with present ones), which
+        #: ``reordered`` counts.  The event-driven scheduler keeps this
+        #: at zero on every link.
+        self.last_arrival = float("-inf")
+        self.reordered = 0
 
     # --- queue state ------------------------------------------------------
 
@@ -115,6 +123,9 @@ class Link:
         happens on the wire, so downstream loss detection sees the
         normal timing).
         """
+        if t < self.last_arrival - 1e-12:
+            self.reordered += 1
+        self.last_arrival = max(self.last_arrival, t)
         rate = self.bandwidth_at(t)
         service = size / rate
         queue_delay = self.queue_delay_at(t)
@@ -138,6 +149,8 @@ class Link:
         self.delivered = 0
         self.dropped_buffer = 0
         self.dropped_random = 0
+        self.last_arrival = float("-inf")
+        self.reordered = 0
 
     # --- convenience --------------------------------------------------------
 

@@ -12,12 +12,16 @@ one-link, one-path, propagation-return special case, and a plain
 Event kinds:
 
 * ``send``  -- a flow attempts to emit its next packet;
+* ``hop``   -- the packet arrives at its next link (forward data or a
+  reverse-walking ack/loss notice) and is offered to that link's queue
+  at the *current* simulator clock.  This is the unified per-hop
+  scheduler: a packet transits its first hop synchronously when it
+  enters a direction and every later hop as a deferred event at its
+  true arrival time, so every shared link sees in-order arrivals from
+  all flows in both directions;
 * ``rcv``   -- the receiver observes the packet (or the gap a drop
-  left) and emits the ack / loss notice onto the path's *reverse
-  links*; deferring the reverse transit to this wall-clock moment
-  keeps every link's arrival stream in time order, so acks compete
-  honestly with reverse-direction data instead of poisoning shared
-  queues with future-stamped transits;
+  left) and its ack / loss notice starts walking the path's *reverse
+  links* through the same per-hop scheduler;
 * ``ack``   -- a delivered packet's acknowledgement reaches the sender,
   having transited the reverse links (queueing behind reverse cross
   traffic; pure propagation only on the default pseudo-link);
@@ -25,7 +29,20 @@ Event kinds:
   after the drop, approximating duplicate-ack/timeout detection; the
   notice charges estimated queueing on the links past the drop and
   transits the reverse path like an ack);
+* ``rto``   -- retransmit-timeout fallback for an acknowledgement that
+  was buffer-dropped on a queued reverse link: if no later cumulative
+  ack reached the sender first, the packet is surfaced as a loss (the
+  spurious-timeout behaviour of a real sender);
 * ``mi``    -- a flow's monitor-interval boundary.
+
+``transit="eager"`` retains the pre-refactor scheme -- every forward
+hop transited at emit time with a future-stamped cursor, the reverse
+walk collapsed into the ``rcv`` handler, buffer-dropped acks delivered
+late instead of lost -- as a frozen comparison twin.  Single-hop
+forward paths with the default pure-propagation return are bit
+identical between the two modes (neither schedules any intermediate
+event); multi-hop paths diverge exactly where eager future-stamping
+misstates queue occupancy on shared hops.
 
 The engine supports incremental execution (``run(until=...)``) so the
 gym-style environments can interleave RL decisions with simulation.
@@ -40,7 +57,7 @@ import numpy as np
 
 from repro.netsim.link import Link
 from repro.netsim.packet import Packet
-from repro.netsim.sender import Controller, Flow, MonitorIntervalStats
+from repro.netsim.sender import ACK_BYTES, Controller, Flow, MonitorIntervalStats
 from repro.netsim.topology import Topology
 
 __all__ = ["FlowSpec", "FlowRecord", "Simulation"]
@@ -51,10 +68,27 @@ MIN_RATE_PPS = 0.5
 MAX_RATE_FACTOR = 8.0
 #: Fallback monitor-interval duration when a path has zero delay.
 MIN_MI_DURATION = 0.01
-#: Wire size of an acknowledgement (bytes) -- scales the service an
-#: ack/loss notice demands from a queued reverse link relative to the
-#: flow's data packets.
-ACK_BYTES = 40
+# ACK_BYTES (re-exported from repro.netsim.sender): default ack wire
+# size in bytes -- scales the service an ack/loss notice demands from
+# a queued reverse link relative to the flow's data packets.  A path
+# can override it (``PathDef(ack_bytes=...)`` / :attr:`Path.ack_bytes`)
+# for stacks with larger ack frames (SACK blocks, QUIC ack ranges,
+# link-layer framing).
+#: Retransmit-timeout multiple of the smoothed RTT used when an ack is
+#: buffer-dropped on the reverse path and no later cumulative ack
+#: recovers it -- the coarse ``RTO = srtt + 4*rttvar`` of a real stack
+#: collapsed to one factor (the simulator does not track rttvar).
+ACK_RTO_FACTOR = 3.0
+#: Default per-hop forwarding dither, as a fraction of the next link's
+#: packet service time, applied to *deferred* hop arrivals only (never
+#: a direction's first hop, preserving single-hop bit-identity).
+#: Equal-rate links in series otherwise phase-lock: an upstream queue
+#: re-serializes its flow onto a deterministic service grid, and at a
+#: full downstream queue the same flow then loses the race for every
+#: freed buffer slot on exact float ties -- permanent starvation no
+#: store-and-forward device exhibits, the per-hop analogue of the
+#: pacing jitter ``_handle_send`` applies.
+HOP_JITTER_FACTOR = 0.5
 
 
 @dataclass
@@ -98,10 +132,25 @@ class FlowRecord:
 
 
 class Simulation:
-    """Event-driven simulation of flows routed over a topology."""
+    """Event-driven simulation of flows routed over a topology.
+
+    ``transit`` selects the hop-transit scheme: ``"event"`` (default)
+    walks every packet link by link at its true per-hop arrival times;
+    ``"eager"`` is the pre-refactor engine that computed all forward
+    hop transits at emit time (kept as the comparison twin for the
+    bit-identity and divergence guarantees -- see the module
+    docstring).
+    """
 
     def __init__(self, links: Link | list[Link] | Topology, specs: list[FlowSpec],
-                 duration: float, seed: int = 0, jitter: float = 0.02):
+                 duration: float, seed: int = 0, jitter: float = 0.02,
+                 transit: str = "event",
+                 hop_jitter: float = HOP_JITTER_FACTOR):
+        if transit not in ("event", "eager"):
+            raise ValueError(f"unknown transit mode {transit!r}; "
+                             f"use 'event' or 'eager'")
+        self.transit = transit
+        self.hop_jitter = float(hop_jitter)
         if isinstance(links, Topology):
             self.topology = links
         else:
@@ -113,6 +162,11 @@ class Simulation:
         self.duration = float(duration)
         self.jitter = float(jitter)
         self.rng = np.random.default_rng(seed)
+        #: Dedicated stream for per-hop forwarding dither: hop events
+        #: must not consume ``self.rng``, or the send-pacing jitter
+        #: sequence (and with it every single-hop race) would shift
+        #: relative to the eager twin.
+        self._hop_rng = np.random.default_rng((seed, 0x517CC1B7))
         self.now = 0.0
         self._heap: list[tuple[float, int, str, int, Packet | None]] = []
         self._seq = 0
@@ -134,6 +188,8 @@ class Simulation:
             flow.reverse_links = path.reverse_links
             flow.base_rtt = path.base_rtt
             flow.return_delay = path.return_delay
+            flow.ack_bytes = (ACK_BYTES if path.ack_bytes is None
+                              else path.ack_bytes)
             flow.max_rate = MAX_RATE_FACTOR * min(
                 link.trace.max_bandwidth() for link in path.links)
             if flow.mi_duration is None:
@@ -158,12 +214,16 @@ class Simulation:
                 self._handle_start(flow)
             elif kind == "send":
                 self._handle_send(flow)
+            elif kind == "hop":
+                self._advance_packet(flow, packet)
             elif kind == "rcv":
                 self._handle_receive(flow, packet)
             elif kind == "ack":
                 self._handle_ack(flow, packet)
             elif kind == "loss":
                 self._handle_loss(flow, packet)
+            elif kind == "rto":
+                self._handle_ack_rto(flow, packet)
             elif kind == "mi":
                 self._handle_mi(flow)
         self.now = max(self.now, horizon)
@@ -236,7 +296,137 @@ class Simulation:
                         send_time=self.now, size_bytes=flow.packet_bytes)
         flow.next_seq += 1
         flow.note_sent(packet)
+        if self.transit == "eager":
+            self._emit_eager(flow, packet)
+        else:
+            # The packet enters the forward direction now: hop 0 is
+            # transited synchronously (its arrival time *is* the
+            # current clock), later hops via deferred "hop" events.
+            self._advance_packet(flow, packet)
 
+    # --- unified per-hop scheduler (transit="event") -------------------------
+
+    def _advance_packet(self, flow: Flow, packet: Packet) -> None:
+        """Offer ``packet`` to its next link at the current clock.
+
+        One code path walks both directions: forward data over
+        ``flow.links`` and, once the receiver has observed the packet
+        (``packet.reversing``), its ack / loss notice over
+        ``flow.reverse_links`` at the flow's ack wire size.  Every
+        ``link.transmit`` happens at the true arrival time, so a shared
+        link's queue sees one time-ordered arrival stream from all
+        flows -- the property the eager scheme broke with
+        future-stamped transits.
+        """
+        if packet.reversing:
+            self._advance_reverse(flow, packet)
+            return
+        link = flow.links[packet.hop]
+        result = link.transmit(self.now)
+        packet.queue_delay += result.queue_delay
+        if not result.delivered:
+            packet.dropped = True
+            packet.drop_kind = result.drop_kind
+            # The receiver observes the gap roughly when the dropped
+            # packet would have arrived.  A random drop happens on the
+            # wire, so ``depart_time`` already carries the normal
+            # queue + service + propagation timing of the dropping
+            # link; a buffer drop never occupies the queue, so charge
+            # the timing a surviving packet just behind it would see.
+            # The links past the drop charge their *current* queue
+            # occupancy plus service, not bare propagation -- the gap
+            # is observed at the receiver only after the packets
+            # already queued downstream drain ahead of it.
+            if result.drop_kind == "random":
+                cursor = result.depart_time
+            else:
+                cursor = self.now + result.queue_delay + link.delay
+            for l in flow.links[packet.hop + 1:]:
+                cursor += (l.queue_delay_at(cursor)
+                           + 1.0 / l.bandwidth_at(cursor) + l.delay)
+            self._push(cursor, "rcv", flow.flow_id, packet)
+            return
+        packet.hop += 1
+        if packet.hop < len(flow.links):
+            arrival = self._dither_arrival(flow, packet, result.depart_time)
+            self._push(arrival, "hop", flow.flow_id, packet)
+        else:
+            packet.arrival_time = result.depart_time
+            self._push(result.depart_time, "rcv", flow.flow_id, packet)
+
+    def _dither_arrival(self, flow: Flow, packet: Packet, depart: float) -> float:
+        """Forwarding dither for a deferred hop arrival.
+
+        Adds up to ``hop_jitter`` of the next link's service time for
+        this packet (store-and-forward processing variance; see
+        :data:`HOP_JITTER_FACTOR` for the phase-locking artifact it
+        prevents), clamped to the flow's latest scheduled arrival at
+        that link so a flow's packets stay in FIFO order on every hop.
+        Never applied to a direction's first hop or to the final
+        receiver/sender arrival, so single-hop forward paths and
+        pure-propagation returns keep their exact timing.
+        """
+        links = flow.reverse_links if packet.reversing else flow.links
+        if self.hop_jitter > 0.0:
+            size = flow.ack_size if packet.reversing else 1.0
+            service = size / links[packet.hop].bandwidth_at(depart)
+            depart += self.hop_jitter * self._hop_rng.random() * service
+        key = (packet.reversing, packet.hop)
+        arrival = max(depart, flow.hop_arrival_floor.get(key, 0.0))
+        flow.hop_arrival_floor[key] = arrival
+        return arrival
+
+    def _advance_reverse(self, flow: Flow, packet: Packet) -> None:
+        """One reverse hop of an ack / loss notice at the current clock.
+
+        Acks occupy reverse queues and compete with reverse-direction
+        data for service at their true wire size (``flow.ack_bytes``
+        over the flow's packet size).  A *loss notice* is never lost --
+        loss information is implied by every later cumulative ack, so a
+        congested reverse hop shows up as delay: a buffer-dropped
+        notice is delivered with the timing a packet just behind the
+        drop would see.  A buffer-dropped *ack*, however, really is
+        lost: the packet parks in ``flow.pending_acks`` until a later
+        cumulative ack reaches the sender, with an ``"rto"`` event as
+        the retransmit-timeout fallback.  A random (wire) drop keeps
+        the delivered-at-normal-timing semantics for both: cumulative
+        acknowledgement covers a corrupted ack within a packet gap,
+        indistinguishable from delivery at this timescale.
+        """
+        link = flow.reverse_links[packet.hop]
+        size = flow.ack_size
+        result = link.transmit(self.now, size=size)
+        packet.ack_queue_delay += result.queue_delay
+        if not result.delivered and result.drop_kind == "buffer" \
+                and not packet.dropped:
+            # Real ack loss: sender recovery via cumulative ack or RTO.
+            flow.pending_acks[packet.seq] = packet
+            rto = ACK_RTO_FACTOR * max(flow.srtt or flow.base_rtt,
+                                       MIN_MI_DURATION)
+            self._push(self.now + rto, "rto", flow.flow_id, packet)
+            return
+        if result.delivered or result.drop_kind == "random":
+            # A random drop's depart_time already carries the full
+            # queue + service + propagation timing.
+            cursor = result.depart_time
+        else:
+            # Buffer-dropped loss notice: delivered late.
+            cursor = (self.now + result.queue_delay
+                      + size / link.bandwidth_at(self.now) + link.delay)
+        packet.hop += 1
+        if packet.hop < len(flow.reverse_links):
+            self._push(self._dither_arrival(flow, packet, cursor),
+                       "hop", flow.flow_id, packet)
+        elif packet.dropped:
+            self._push(cursor, "loss", flow.flow_id, packet)
+        else:
+            packet.ack_time = cursor
+            self._push(cursor, "ack", flow.flow_id, packet)
+
+    # --- eager twin (transit="eager", the pre-refactor scheme) ---------------
+
+    def _emit_eager(self, flow: Flow, packet: Packet) -> None:
+        """Transit every forward hop at emit time (future-stamped)."""
         cursor = self.now
         queue_delay = 0.0
         delivered = True
@@ -247,18 +437,6 @@ class Simulation:
                 delivered = False
                 packet.dropped = True
                 packet.drop_kind = result.drop_kind
-                # The sender learns of the loss roughly when the gap
-                # would have been observed at the receiver plus the
-                # reverse-path transit.  A random drop happens on the
-                # wire, so ``depart_time`` already carries the normal
-                # queue + service + propagation timing of the dropping
-                # link; a buffer drop never occupies the queue, so
-                # charge the timing a surviving packet just behind it
-                # would see.  The links past the drop charge their
-                # *current* queue occupancy plus service, not bare
-                # propagation -- the gap is observed at the receiver
-                # only after the packets already queued downstream
-                # drain ahead of it.
                 if result.drop_kind == "random":
                     loss_cursor = result.depart_time
                 else:
@@ -276,32 +454,15 @@ class Simulation:
             packet.arrival_time = cursor
             self._push(cursor, "rcv", flow.flow_id, packet)
 
-    def _handle_receive(self, flow: Flow, packet: Packet) -> None:
-        """The receiver observed a packet (or a drop's gap): send the
-        ack / loss notice back over the flow's reverse links."""
-        arrival, queue_delay = self._transit_reverse(flow, self.now)
-        if packet.dropped:
-            self._push(arrival, "loss", flow.flow_id, packet)
-        else:
-            packet.ack_time = arrival
-            packet.ack_queue_delay = queue_delay
-            self._push(arrival, "ack", flow.flow_id, packet)
-
     def _transit_reverse(self, flow: Flow, cursor: float) -> tuple[float, float]:
-        """Carry an ack/loss notice over the flow's reverse links.
+        """Eager twin's reverse walk: all hops at ``rcv`` time.
 
         Returns ``(arrival_time_at_sender, accumulated_queue_delay)``.
-        Acks occupy reverse queues and compete with reverse-direction
-        data for service, at their true wire size (:data:`ACK_BYTES`
-        over the flow's packet size -- a 40 B ack takes ~1/37 the
-        service of a 1500 B data packet, so pure ack traffic only
-        congests a reverse link when the asymmetry really is that
-        extreme).  Acknowledgement information is cumulative, so a
-        congested reverse hop shows up as *delay*, never silent loss:
-        a dropped ack is delivered with the timing a packet just
-        behind the drop would see.
+        Keeps the pre-refactor semantics exactly: a buffer-dropped ack
+        is *delivered late* (with the timing a packet just behind the
+        drop would see) rather than lost.
         """
-        size = ACK_BYTES / flow.packet_bytes
+        size = flow.ack_size
         queue_delay = 0.0
         for link in flow.reverse_links:
             result = link.transmit(cursor, size=size)
@@ -315,12 +476,62 @@ class Simulation:
                            + size / link.bandwidth_at(cursor) + link.delay)
         return cursor, queue_delay
 
+    # --- receiver / sender-side handlers -------------------------------------
+
+    def _handle_receive(self, flow: Flow, packet: Packet) -> None:
+        """The receiver observed a packet (or a drop's gap): its ack /
+        loss notice starts walking the flow's reverse links."""
+        if self.transit == "eager":
+            arrival, queue_delay = self._transit_reverse(flow, self.now)
+            if packet.dropped:
+                self._push(arrival, "loss", flow.flow_id, packet)
+            else:
+                packet.ack_time = arrival
+                packet.ack_queue_delay = queue_delay
+                self._push(arrival, "ack", flow.flow_id, packet)
+            return
+        packet.reversing = True
+        packet.hop = 0
+        self._advance_packet(flow, packet)
+
+    def _recover_pending(self, flow: Flow, before_seq: int) -> None:
+        """Cumulative feedback below ``before_seq`` reached the sender:
+        any earlier delivered packet whose own ack was dropped on the
+        reverse path is acknowledged now (its "rto" event becomes a
+        stale no-op)."""
+        if not flow.pending_acks:
+            return
+        for seq in sorted(s for s in flow.pending_acks if s < before_seq):
+            recovered = flow.pending_acks.pop(seq)
+            recovered.ack_time = self.now
+            recovered.ack_recovered = True
+            flow.note_ack(recovered, self.now)
+            flow.controller.on_ack(flow, recovered, self.now)
+
     def _handle_ack(self, flow: Flow, packet: Packet) -> None:
+        self._recover_pending(flow, packet.seq)
         flow.note_ack(packet, self.now)
         flow.controller.on_ack(flow, packet, self.now)
         self._clock_window(flow)
 
+    def _handle_ack_rto(self, flow: Flow, packet: Packet) -> None:
+        """Retransmit-timeout fallback for a buffer-dropped ack."""
+        if flow.pending_acks.pop(packet.seq, None) is None:
+            return  # already recovered by a later cumulative ack
+        # No later ack arrived in time: the sender (wrongly but
+        # honestly) concludes the packet was lost -- the spurious
+        # timeout a real stack fires when the ack path eats its acks.
+        packet.ack_dropped = True
+        flow.note_loss(packet, self.now)
+        flow.controller.on_loss(flow, packet, self.now)
+        self._clock_window(flow)
+
     def _handle_loss(self, flow: Flow, packet: Packet) -> None:
+        # A loss notice is cumulative feedback too (a real dup-ack
+        # carries the cumulative ack number): it confirms delivery of
+        # everything below the gap, so it rescues earlier parked acks
+        # just like a delivered ack does.
+        self._recover_pending(flow, packet.seq)
         flow.note_loss(packet, self.now)
         flow.controller.on_loss(flow, packet, self.now)
         self._clock_window(flow)

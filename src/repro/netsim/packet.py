@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["Packet"]
 
@@ -15,6 +15,12 @@ class Packet:
     the receiver (``arrival_time`` set, ``dropped`` False) or is dropped
     in flight (``dropped`` True and ``drop_kind`` records whether the
     drop was a buffer overflow or random loss).
+
+    Under the event-driven per-hop scheduler the packet itself is the
+    transit cursor: ``hop`` indexes the next link of the active
+    direction (``flow.links`` forward, ``flow.reverse_links`` once
+    ``reversing`` is set) and advances as each ``"hop"`` event dequeues
+    the packet at its true arrival time.
     """
 
     flow_id: int
@@ -29,6 +35,19 @@ class Packet:
     #: Queueing the acknowledgement saw on the reverse path (0.0 on a
     #: pure-propagation return).
     ack_queue_delay: float = 0.0
+    #: Index of the next link to transit in the active direction.
+    hop: int = 0
+    #: The packet delivered (or its drop was observed) and its ack /
+    #: loss notice is now walking the reverse links.
+    reversing: bool = False
+    #: The acknowledgement itself was buffer-dropped on the reverse
+    #: path and the sender recovered via retransmit timeout (counted as
+    #: a loss) rather than a later cumulative ack.
+    ack_dropped: bool = False
+    #: The acknowledgement was buffer-dropped on the reverse path but a
+    #: later cumulative ack covered it (``ack_time`` is that recovery
+    #: moment, not the lost ack's own would-be arrival).
+    ack_recovered: bool = False
 
     @property
     def rtt(self) -> float | None:

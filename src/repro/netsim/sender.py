@@ -32,6 +32,11 @@ __all__ = ["Controller", "ExternalRateController", "MonitorIntervalStats", "Flow
 SEND_RATIO_CAP = 5.0
 LATENCY_RATIO_CAP = 10.0
 
+#: Default wire size of an acknowledgement, bytes (re-exported as
+#: :data:`repro.netsim.network.ACK_BYTES`); a topology path can
+#: override it per flow via ``PathDef(ack_bytes=...)``.
+ACK_BYTES = 40
+
 
 class Controller:
     """Interface between a flow and its congestion-control algorithm.
@@ -195,6 +200,22 @@ class Flow:
         #: Propagation sum of the reverse links (no queueing).
         self.return_delay = 0.0
         self.max_rate = float("inf")
+        #: Wire size of this flow's acknowledgements, bytes; the
+        #: engine overrides it from the path's ``ack_bytes`` when the
+        #: topology sets one.
+        self.ack_bytes = ACK_BYTES
+
+        #: Delivered packets whose acknowledgement was buffer-dropped
+        #: on the reverse path, keyed by sequence number.  Acknowledged
+        #: (and removed) when a later cumulative ack reaches the
+        #: sender, or surfaced as a retransmit-timeout loss if none
+        #: does (see ``Simulation._handle_ack`` / ``"rto"`` events).
+        self.pending_acks: dict[int, Packet] = {}
+        #: Latest scheduled arrival per (reversing, hop) under the
+        #: event-driven scheduler -- the monotonicity floor that keeps
+        #: this flow's dithered per-hop arrivals in FIFO order at every
+        #: link (see ``Simulation._dither_arrival``).
+        self.hop_arrival_floor: dict[tuple[bool, int], float] = {}
 
         #: Time of the last accounting event (send/ack/loss).  The final
         #: monitor interval closes at this time when acks straggle in
@@ -224,6 +245,11 @@ class Flow:
         self.records: list[MonitorIntervalStats] = []
         self.packets: list[Packet] = []
         self._min_mean_rtt: float | None = None
+
+    @property
+    def ack_size(self) -> float:
+        """Service demand of one ack relative to a data packet."""
+        return self.ack_bytes / self.packet_bytes
 
     # --- accounting hooks (called by the engine) ---------------------------
 

@@ -22,12 +22,13 @@ literature).  This module generalises the simulation substrate from
   its own (typically slower) queued link.
 
 Every path carries an ordered *reverse* link list that acks and loss
-notices physically transit (see
-:meth:`repro.netsim.network.Simulation._emit_packet`).  Paths that do
-not wire one get a :class:`~repro.netsim.link.PropagationLink`
-pseudo-link reproducing the legacy scalar ``return_delay`` timing
-bit-for-bit; wiring real links instead makes ack-path queueing, ack
-compression, and asymmetric satellite/cable routes emergent.
+notices physically transit hop by hop (see
+:meth:`repro.netsim.network.Simulation._advance_packet`, the unified
+per-hop scheduler for both directions).  Paths that do not wire one
+get a :class:`~repro.netsim.link.PropagationLink` pseudo-link
+reproducing the legacy scalar ``return_delay`` timing bit-for-bit;
+wiring real links instead makes ack-path queueing, ack compression,
+ack *loss*, and asymmetric satellite/cable routes emergent.
 """
 
 from __future__ import annotations
@@ -67,6 +68,10 @@ class Path:
     return_delay: float
     reverse_link_names: tuple = ()
     reverse_links: tuple = ()
+    #: Wire size of this path's acknowledgements, bytes; ``None``
+    #: falls back to the engine-wide
+    #: :data:`repro.netsim.network.ACK_BYTES`.
+    ack_bytes: int | None = None
 
     @property
     def forward_delay(self) -> float:
@@ -103,11 +108,16 @@ class Topology:
         reverse links' propagation sum); unlisted paths keep a
         pure-propagation pseudo-link.  A path cannot appear in both
         ``return_delays`` and ``reverse_paths``.
+    ack_bytes:
+        Optional per-path ack wire size in bytes, overriding the
+        engine-wide :data:`repro.netsim.network.ACK_BYTES` for the
+        listed paths.
     """
 
     def __init__(self, links: dict, paths: dict, default_path: str | None = None,
                  return_delays: dict | None = None,
-                 reverse_paths: dict | None = None):
+                 reverse_paths: dict | None = None,
+                 ack_bytes: dict | None = None):
         if not links:
             raise ValueError("a topology needs at least one link")
         if not paths:
@@ -115,16 +125,22 @@ class Topology:
         self.links = dict(links)
         return_delays = return_delays or {}
         reverse_paths = reverse_paths or {}
+        ack_bytes = ack_bytes or {}
         both = sorted(set(return_delays) & set(reverse_paths))
         if both:
             raise ValueError(f"path(s) {both} give both return_delays and "
                              f"reverse_paths; pick one")
         for label, mapping in (("return_delays", return_delays),
-                               ("reverse_paths", reverse_paths)):
+                               ("reverse_paths", reverse_paths),
+                               ("ack_bytes", ack_bytes)):
             unknown = sorted(set(mapping) - set(paths))
             if unknown:
                 raise KeyError(f"{label} names unknown path(s) {unknown}; "
                                f"known: {sorted(paths)}")
+        for name, value in ack_bytes.items():
+            if int(value) <= 0:
+                raise ValueError(f"ack_bytes of path {name!r} must be "
+                                 f"positive, got {value!r}")
         self.paths: dict[str, Path] = {}
         for name, link_names in paths.items():
             link_names = tuple(link_names)
@@ -154,11 +170,14 @@ class Topology:
                     name, sum(link.delay for link in path_links))
                 reverse_links = (PropagationLink(float(return_delay),
                                                  name=f"{name}:return"),)
+            path_ack = ack_bytes.get(name)
             self.paths[name] = Path(name=name, link_names=link_names,
                                     links=path_links,
                                     return_delay=float(return_delay),
                                     reverse_link_names=reverse_names,
-                                    reverse_links=reverse_links)
+                                    reverse_links=reverse_links,
+                                    ack_bytes=(None if path_ack is None
+                                               else int(path_ack)))
         if default_path is None:
             default_path = next(iter(self.paths))
         if default_path not in self.paths:
@@ -240,15 +259,28 @@ class PathDef:
     neither means a symmetric pure-propagation return.  Giving both is
     an error -- a wired reverse path's return delay *is* its links'
     propagation sum.
+
+    ``ack_bytes`` sets this path's acknowledgement wire size, scaling
+    the service acks demand from queued reverse links; ``None`` uses
+    the engine-wide :data:`repro.netsim.network.ACK_BYTES` default.
     """
 
     name: str
     links: tuple
     return_delay_ms: float | None = None
     reverse_links: tuple | None = None
+    ack_bytes: int | None = None
 
     def __post_init__(self):
         object.__setattr__(self, "links", tuple(self.links))
+        if self.ack_bytes is not None:
+            # Coerce here so the spec, its fingerprint, and the built
+            # topology all agree on one value (a float would fingerprint
+            # raw but run truncated).
+            object.__setattr__(self, "ack_bytes", int(self.ack_bytes))
+            if self.ack_bytes <= 0:
+                raise ValueError(f"path {self.name!r}: ack_bytes must be "
+                                 f"positive, got {self.ack_bytes!r}")
         if self.reverse_links is not None:
             object.__setattr__(self, "reverse_links",
                                tuple(self.reverse_links))
@@ -387,10 +419,13 @@ class TopologySpec:
                          for p in self.paths if p.return_delay_ms is not None}
         reverse_paths = {p.name: p.reverse_links for p in self.paths
                          if p.reverse_links is not None}
+        ack_bytes = {p.name: p.ack_bytes for p in self.paths
+                     if p.ack_bytes is not None}
         return Topology(links, paths,
                         default_path=self.default_path or self.paths[0].name,
                         return_delays=return_delays,
-                        reverse_paths=reverse_paths)
+                        reverse_paths=reverse_paths,
+                        ack_bytes=ack_bytes)
 
     def with_reverse_paths(self, reverse: dict,
                            name: str | None = None) -> "TopologySpec":
@@ -501,6 +536,7 @@ def dumbbell_asymmetric(bandwidth_mbps: float = 20.0, delay_ms: float = 10.0,
                         reverse_queue_packets: int | None = None,
                         loss_rate: float = 0.0, trace: str | None = None,
                         reverse_trace: str | None = None,
+                        ack_bytes: int | None = None,
                         name: str | None = None) -> TopologySpec:
     """A dumbbell whose reverse direction is its own queued link.
 
@@ -510,6 +546,8 @@ def dumbbell_asymmetric(bandwidth_mbps: float = 20.0, delay_ms: float = 10.0,
     ADSL/cable/satellite ack-compression shape.  ``reverse_bandwidth``
     defaults to a tenth of the forward capacity (the classic asymmetric
     access ratio) and ``reverse_delay`` to the forward delay.
+    ``ack_bytes`` overrides both paths' ack wire size (stacks with fat
+    ack frames congest the skinny uplink proportionally sooner).
     """
     if reverse_bandwidth_mbps is None:
         reverse_bandwidth_mbps = bandwidth_mbps / 10.0
@@ -528,7 +566,9 @@ def dumbbell_asymmetric(bandwidth_mbps: float = 20.0, delay_ms: float = 10.0,
                 queue_packets=reverse_queue_packets,
                 loss_rate=float(loss_rate), trace=reverse_trace),
     )
-    paths = (PathDef("through", ("fwd",), reverse_links=("rev",)),
-             PathDef("reverse", ("rev",), reverse_links=("fwd",)))
+    paths = (PathDef("through", ("fwd",), reverse_links=("rev",),
+                     ack_bytes=ack_bytes),
+             PathDef("reverse", ("rev",), reverse_links=("fwd",),
+                     ack_bytes=ack_bytes))
     return TopologySpec(name=name or "dumbbell-asym", links=links,
                         paths=paths, default_path="through")
