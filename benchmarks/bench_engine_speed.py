@@ -1,0 +1,89 @@
+"""Engine speed: events/sec + cells/sec across the standard perf shapes.
+
+The repo's first perf-trajectory artifact (PR 5).  The discrete-event
+hot path was rebuilt -- integer event dispatch through a handler table,
+allocation-free tuple transits, streamed monitor-interval statistics,
+block-drawn RNG, monotonic-deque filters in BBR/Copa -- under a
+bit-identity guarantee (tests/test_golden_traces.py), and this
+benchmark is what keeps the speed from silently rotting:
+
+* measures every :data:`~repro.eval.perf.PERF_SHAPES` shape under both
+  transit engines (warm, best-of-N) plus the full serial pipeline;
+* writes ``BENCH_engine.json`` (in ``BENCH_OUTPUT_DIR``, default the
+  working directory) with raw events/sec, cells/sec, and
+  machine-normalized events-per-calibration-op;
+* compares the normalized numbers against the checked-in baseline
+  ``benchmarks/BENCH_engine_baseline.json`` and fails on a >30%
+  regression (``REPRO_PERF_SMOKE_SKIP=1`` skips the gate on known-noisy
+  hosts; ``REPRO_PERF_TOLERANCE`` overrides the tolerance).
+
+The baseline also carries the measured *pre-optimization* numbers
+(``pre_pr``) so the speedup this PR bought stays on the record:
+>=2x events/sec on the parking-lot (shared-hop) grid, ~2.3-2.7x on the
+single-bottleneck and ack-congestion shapes.
+"""
+
+import os
+from pathlib import Path
+
+from conftest import print_table, run_once
+
+from repro.eval.perf import (
+    check_regression,
+    engine_speed_report,
+    load_report,
+    write_report,
+)
+
+BASELINE_PATH = Path(__file__).parent / "BENCH_engine_baseline.json"
+
+
+def bench_engine_speed(benchmark):
+    """Measure the engine, write BENCH_engine.json, gate vs baseline."""
+    duration = float(os.environ.get("ENGINE_BENCH_DURATION", "10.0"))
+    repeats = int(os.environ.get("ENGINE_BENCH_REPEATS", "3"))
+
+    report = run_once(benchmark, lambda: engine_speed_report(
+        duration=duration, repeats=repeats, pipeline=True))
+
+    rows = [[s["shape"], s["transit"], s["events"], s["events_per_sec"],
+             s["cells_per_sec"], s["events_per_calibration_op"]]
+            for s in report["shapes"]]
+    print_table("Engine speed (events/sec; normalized = per calibration op)",
+                ["shape", "transit", "events", "events/s", "cells/s",
+                 "normalized"], rows)
+    print(f"pipeline: {report['pipeline_cells']} cells in "
+          f"{report['pipeline_wall_s']}s -> "
+          f"{report['pipeline_cells_per_sec']} cells/s, "
+          f"{report['pipeline_events_per_sec']} events/s")
+
+    for s in report["shapes"]:
+        assert s["events"] > 0 and s["events_per_sec"] > 0, s
+    assert report["pipeline_cells_per_sec"] > 0
+
+    failures = []
+    if BASELINE_PATH.exists():
+        baseline = load_report(BASELINE_PATH)
+        tolerance = float(os.environ.get("REPRO_PERF_TOLERANCE", "0.30"))
+        failures = check_regression(report, baseline, tolerance=tolerance)
+        report["baseline_check"] = {
+            "baseline": str(BASELINE_PATH), "tolerance": tolerance,
+            "failures": failures,
+            "skipped": os.environ.get("REPRO_PERF_SMOKE_SKIP") == "1"}
+        if "pre_pr" in baseline:
+            report["pre_pr"] = baseline["pre_pr"]
+
+    out = Path(os.environ.get("BENCH_OUTPUT_DIR", ".")) / "BENCH_engine.json"
+    write_report(report, out)
+    print(f"\nwrote {out}")
+
+    if failures:
+        if os.environ.get("REPRO_PERF_SMOKE_SKIP") == "1":
+            print("PERF REGRESSION (gate skipped via REPRO_PERF_SMOKE_SKIP):")
+            for f in failures:
+                print(" ", f)
+        else:
+            raise AssertionError(
+                "engine speed regressed vs checked-in baseline "
+                "(set REPRO_PERF_SMOKE_SKIP=1 on known-noisy hosts):\n  "
+                + "\n  ".join(failures))

@@ -1,0 +1,45 @@
+"""Regenerate the engine golden traces (tests/goldens/engine_golden.json).
+
+The goldens pin the simulator's exact floats: ``tests/test_golden_traces.py``
+re-runs the same seeded grid and asserts digest-identity, which is how
+hot-path optimizations prove they did not move a single result bit.
+
+Only regenerate when a PR *intentionally* changes simulation results
+(new physics, fixed accounting) -- never to paper over an optimization
+that failed bit-identity.  The grid definition lives next to the test
+(``golden_suites``/``compute_goldens``) so generator and checker can
+never drift apart.
+
+Usage::
+
+    PYTHONPATH=src python scripts/make_engine_goldens.py
+"""
+
+import json
+import sys
+from datetime import date
+from pathlib import Path
+
+import numpy as np
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "tests"))
+
+from test_golden_traces import GOLDEN_PATH, compute_goldens  # noqa: E402
+
+
+def main() -> None:
+    scenarios = compute_goldens()
+    payload = {
+        "generated": date.today().isoformat(),
+        "numpy": np.__version__,
+        "python": sys.version.split()[0],
+        "scenarios": scenarios,
+    }
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {GOLDEN_PATH} ({len(scenarios)} scenarios)")
+
+
+if __name__ == "__main__":
+    main()

@@ -41,6 +41,15 @@ class BBR(Controller):
                  rtprop_window_s: float = 10.0, probe_rtt_interval_s: float = 10.0):
         self.rate = float(initial_rate)
         self._bw_samples: deque[float] = deque(maxlen=bw_window)
+        #: Sliding-window-minimum structure for the rt_prop filter: a
+        #: *monotonic deque* of ``(time, rtt)`` with rtts strictly
+        #: increasing left to right.  Appending pops dominated samples
+        #: (older AND no smaller -- they could never be the window min
+        #: again), so the front IS the windowed minimum and every query
+        #: is O(1) amortized.  The old full-scan ``min()`` over all
+        #: in-window samples was the single hottest line of a BBR
+        #: simulation (called per send via ``inflight_cap``); the value
+        #: returned is exactly identical.
         self._rtt_samples: deque[tuple[float, float]] = deque()
         self.rtprop_window_s = rtprop_window_s
         self.probe_rtt_interval_s = probe_rtt_interval_s
@@ -60,11 +69,13 @@ class BBR(Controller):
         return max(self._bw_samples) if self._bw_samples else 0.0
 
     def _rt_prop(self, now: float) -> float | None:
-        while self._rtt_samples and self._rtt_samples[0][0] < now - self.rtprop_window_s:
-            self._rtt_samples.popleft()
-        if not self._rtt_samples:
+        samples = self._rtt_samples
+        horizon = now - self.rtprop_window_s
+        while samples and samples[0][0] < horizon:
+            samples.popleft()
+        if not samples:
             return None
-        return min(s[1] for s in self._rtt_samples)
+        return samples[0][1]
 
     # --- state machine ---------------------------------------------------------
 
@@ -72,7 +83,17 @@ class BBR(Controller):
         if stats.acked > 0:
             self._bw_samples.append(stats.throughput_pps)
         if stats.min_rtt is not None:
-            self._rtt_samples.append((now, stats.min_rtt))
+            # Monotonic-deque append: drop samples that are both older
+            # and >= the new rtt.  The newest sample always survives,
+            # so the deque is empty exactly when the plain deque would
+            # be (every sample aged out) and its front is exactly the
+            # plain deque's windowed min -- the filter's behaviour is
+            # bit-identical, just no longer O(window) per query.
+            samples = self._rtt_samples
+            rtt = stats.min_rtt
+            while samples and samples[-1][1] >= rtt:
+                samples.pop()
+            samples.append((now, rtt))
 
         bw = self.btl_bw
         if bw <= 0:

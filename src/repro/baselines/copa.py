@@ -49,6 +49,12 @@ class Copa(Controller):
         self._direction = 0
         self._last_double = 0.0
         self.slow_start = True
+        #: Monotonic min-deque over the srtt/2 sliding window: rtts
+        #: strictly increase left to right, so ``srtt_standing`` reads
+        #: the front instead of scanning every in-window ack (the scan
+        #: was O(acks-per-srtt) *per ack* -- quadratic in rate).  The
+        #: windowed minimum it yields is exactly the scan's value; see
+        #: ``on_ack`` for the dominated-sample argument.
         self._rtt_window: deque[tuple[float, float]] = deque()
         self._last_ss_double = 0.0
 
@@ -63,17 +69,27 @@ class Copa(Controller):
         if srtt is None:
             return None
         horizon = now - srtt / 2.0
-        while self._rtt_window and self._rtt_window[0][0] < horizon:
-            self._rtt_window.popleft()
-        if not self._rtt_window:
+        window = self._rtt_window
+        while window and window[0][0] < horizon:
+            window.popleft()
+        if not window:
             return srtt
-        return min(r for _, r in self._rtt_window)
+        return window[0][1]
 
     # --- per-ack control law ---------------------------------------------------
 
     def on_ack(self, flow: Flow, packet: Packet, now: float) -> None:
         rtt = now - packet.send_time
-        self._rtt_window.append((now, rtt))
+        # Monotonic-deque append: a sample that is older and no smaller
+        # than the new rtt can never again be the window minimum (the
+        # new sample outlives it at a smaller-or-equal value), so it is
+        # dropped now instead of rescanned per ack.  The newest sample
+        # always survives, keeping window-emptiness -- and therefore
+        # the ``srtt`` fallback -- identical to the full-window deque.
+        window = self._rtt_window
+        while window and window[-1][1] >= rtt:
+            window.pop()
+        window.append((now, rtt))
         srtt = flow.srtt
         min_rtt = flow.min_rtt_seen
         if srtt is None or min_rtt is None:

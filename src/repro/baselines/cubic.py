@@ -31,6 +31,11 @@ class Cubic(Controller):
     C = 0.4
     #: Multiplicative decrease factor.
     BETA = 0.7
+    #: Reno AIMD slope of the TCP-friendly region,
+    #: ``3 * (1 - BETA) / (1 + BETA)`` -- precomputed because on_ack
+    #: runs once per delivered packet (same float as the inline
+    #: expression it replaces).
+    RENO_SLOPE = 3.0 * (1.0 - BETA) / (1.0 + BETA)
 
     def __init__(self, initial_cwnd: float = 10.0, min_cwnd: float = 2.0,
                  fast_convergence: bool = True):
@@ -61,12 +66,15 @@ class Cubic(Controller):
         rtt = flow.srtt or 0.0
         target = self.origin_cwnd + self.C * (t + rtt - self.k) ** 3
         # TCP-friendly region: emulate Reno's AIMD growth.
-        reno = self.w_max * self.BETA + 3.0 * (1.0 - self.BETA) / (1.0 + self.BETA) * (t / max(rtt, 1e-3))
-        target = max(target, reno)
-        if target > self._cwnd:
-            self._cwnd += (target - self._cwnd) / self._cwnd
+        reno = (self.w_max * self.BETA
+                + self.RENO_SLOPE * (t / (rtt if rtt > 1e-3 else 1e-3)))
+        if reno > target:
+            target = reno
+        cwnd = self._cwnd
+        if target > cwnd:
+            self._cwnd = cwnd + (target - cwnd) / cwnd
         else:
-            self._cwnd += 0.01 / self._cwnd  # minimal probing
+            self._cwnd = cwnd + 0.01 / cwnd  # minimal probing
 
     def on_loss(self, flow: Flow, packet: Packet, now: float) -> None:
         rtt = flow.srtt or 0.05

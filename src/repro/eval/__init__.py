@@ -10,6 +10,8 @@ Every table/figure in the paper's §6 is regenerated from these pieces:
 * :mod:`repro.eval.parallel` -- sharded suite execution + result cache.
 * :mod:`repro.eval.sweeps` -- the Fig. 5 parameter sweeps and the
   multi-bottleneck + churn grids beyond the paper's evaluation.
+* :mod:`repro.eval.perf` -- engine-speed profiling: events/sec and
+  cells/sec on the standard shapes (the BENCH_engine harness).
 * :mod:`repro.eval.gaussian` -- 1-sigma ellipses for Fig. 1(b).
 * :mod:`repro.eval.cdf` -- empirical CDFs (Figs. 6, 12, 16, 18).
 * :mod:`repro.eval.overhead` -- control-loop CPU cost (Fig. 17).
@@ -17,6 +19,7 @@ Every table/figure in the paper's §6 is regenerated from these pieces:
 
 from repro.eval.runner import (
     EvalNetwork,
+    build_competition,
     run_competition,
     run_scheme,
     scheme_factory,
@@ -27,7 +30,9 @@ from repro.eval.scenarios import (
     FlowDef,
     Scenario,
     ScenarioSuite,
+    build_scenario_simulation,
     run_scenario,
+    simulate_scenario,
 )
 from repro.eval.parallel import (
     ParallelRunner,

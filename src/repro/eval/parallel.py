@@ -30,7 +30,7 @@ from repro.eval.scenarios import (
     AgentRef,
     Scenario,
     ScenarioSuite,
-    run_scenario,
+    simulate_scenario,
 )
 from repro.netsim.network import FlowRecord
 from repro.netsim.sender import MonitorIntervalStats
@@ -206,6 +206,10 @@ class ScenarioResult:
     records: list[FlowRecord]
     cached: bool = False
     elapsed: float = 0.0
+    #: Heap events the simulation dispatched (0 for cache-served
+    #: results -- no simulation ran).  Feeds the suite-level
+    #: events/sec engine-speed metric (see :mod:`repro.eval.perf`).
+    events: int = 0
 
     def rows(self) -> list[dict]:
         net = self.scenario.network
@@ -331,6 +335,22 @@ class SuiteResult:
     def cache_misses(self) -> int:
         return sum(1 for r in self.results if not r.cached)
 
+    @property
+    def total_events(self) -> int:
+        """Heap events dispatched by the suite's *executed* cells."""
+        return sum(r.events for r in self.results if not r.cached)
+
+    @property
+    def events_per_sec(self) -> float | None:
+        """Aggregate engine speed over executed cells, events per
+        *simulation* second (per-cell measured wall, so the number is
+        comparable between serial and sharded runs; ``None`` when the
+        whole suite was cache-served)."""
+        sim_wall = sum(r.elapsed for r in self.results if not r.cached)
+        if sim_wall <= 0:
+            return None
+        return self.total_events / sim_wall
+
     def records_for(self, name: str) -> list[FlowRecord]:
         for result in self.results:
             if result.scenario.name == name:
@@ -344,10 +364,10 @@ class SuiteResult:
         return len(self.results)
 
 
-def _execute(scenario: Scenario) -> tuple[list[FlowRecord], float]:
+def _execute(scenario: Scenario) -> tuple[list[FlowRecord], float, int]:
     t0 = time.perf_counter()
-    records = run_scenario(scenario)
-    return records, time.perf_counter() - t0
+    records, sim = simulate_scenario(scenario)
+    return records, time.perf_counter() - t0, sim.events_processed
 
 
 #: Scenarios staged for the forked pool.  Workers index into the
@@ -438,8 +458,9 @@ class ParallelRunner:
                         # it, cancelling every shard not yet started.
                         raise ScenarioError(scenario.name, error)
                     return
-                records, elapsed = payload
-                results[idx] = ScenarioResult(scenario, records, elapsed=elapsed)
+                records, elapsed, events = payload
+                results[idx] = ScenarioResult(scenario, records,
+                                              elapsed=elapsed, events=events)
                 if self.cache:
                     self.cache.put(fingerprint, scenario.name, records)
 

@@ -29,7 +29,8 @@ from repro.netsim.network import FlowRecord, FlowSpec, Simulation
 from repro.netsim.topology import MIN_QUEUE_PACKETS
 from repro.netsim.traces import BandwidthTrace, ConstantTrace, mbps_to_pps
 
-__all__ = ["EvalNetwork", "scheme_factory", "run_scheme", "run_competition"]
+__all__ = ["EvalNetwork", "scheme_factory", "build_competition", "run_scheme",
+           "run_competition"]
 
 
 @dataclass(frozen=True)
@@ -125,6 +126,29 @@ def run_scheme(controller, network: EvalNetwork, duration: float = 30.0,
     return sim.run_all()[0]
 
 
+def build_competition(controllers, network: EvalNetwork, duration: float = 60.0,
+                      start_times=None, stop_times=None, seed: int = 0,
+                      mi_duration: float | None = None,
+                      transit: str = "event") -> Simulation:
+    """Wire several controllers sharing the bottleneck into a Simulation.
+
+    The construction half of :func:`run_competition`, split out so
+    callers that need the live :class:`Simulation` -- engine-speed
+    profiling (:mod:`repro.eval.perf`), incremental ``run(until=...)``
+    drivers -- reuse the exact seeding and sizing of the standard
+    evaluation path.
+    """
+    n = len(controllers)
+    start_times = start_times or [0.0] * n
+    stop_times = stop_times or [float("inf")] * n
+    link = network.build_link(seed=seed * 31 + 17)
+    specs = [FlowSpec(controller=c, packet_bytes=network.packet_bytes,
+                      start_time=t0, stop_time=t1, mi_duration=mi_duration)
+             for c, t0, t1 in zip(controllers, start_times, stop_times)]
+    return Simulation(link, specs, duration=duration, seed=seed,
+                      transit=transit)
+
+
 def run_competition(controllers, network: EvalNetwork, duration: float = 60.0,
                     start_times=None, stop_times=None, seed: int = 0,
                     mi_duration: float | None = None,
@@ -136,13 +160,8 @@ def run_competition(controllers, network: EvalNetwork, duration: float = 60.0,
     hop-transit scheme (bit-identical either way on this single-link
     shape; see :class:`~repro.netsim.network.Simulation`).
     """
-    n = len(controllers)
-    start_times = start_times or [0.0] * n
-    stop_times = stop_times or [float("inf")] * n
-    link = network.build_link(seed=seed * 31 + 17)
-    specs = [FlowSpec(controller=c, packet_bytes=network.packet_bytes,
-                      start_time=t0, stop_time=t1, mi_duration=mi_duration)
-             for c, t0, t1 in zip(controllers, start_times, stop_times)]
-    sim = Simulation(link, specs, duration=duration, seed=seed,
-                     transit=transit)
+    sim = build_competition(controllers, network, duration=duration,
+                            start_times=start_times, stop_times=stop_times,
+                            seed=seed, mi_duration=mi_duration,
+                            transit=transit)
     return sim.run_all()

@@ -36,13 +36,13 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.eval.runner import EvalNetwork, run_competition, scheme_factory
+from repro.eval.runner import EvalNetwork, build_competition, scheme_factory
 from repro.netsim.network import FlowRecord, FlowSpec, Simulation
 from repro.netsim.topology import TopologySpec
 from repro.netsim.traces import make_trace
 
 __all__ = ["AgentRef", "ChurnSchedule", "FlowDef", "Scenario", "ScenarioSuite",
-           "run_scenario"]
+           "build_scenario_simulation", "run_scenario", "simulate_scenario"]
 
 #: Bumped whenever scenario execution changes in a way that invalidates
 #: previously cached results.  v4: event-driven per-hop forward transit
@@ -491,15 +491,17 @@ def _build_controller(flow: FlowDef, network: EvalNetwork, seed: int):
                           **_controller_kwargs(flow, agent))
 
 
-def run_scenario(scenario: Scenario) -> list[FlowRecord]:
-    """Execute one scenario serially; the runner's worker entry point.
+def build_scenario_simulation(scenario: Scenario) -> Simulation:
+    """Wire one scenario into an unrun :class:`Simulation`.
 
-    Equivalent to the hand-rolled ``scheme_factory`` + ``run_scheme`` /
-    ``run_competition`` loops the benchmarks used to contain: same
-    seeds, same event streams, identical records.
+    The construction half of :func:`run_scenario`: same agent
+    resolution, controller sizing, link/topology seeding.  Exposed so
+    engine-speed profiling (:mod:`repro.eval.perf`) can time ``run_all``
+    and read ``Simulation.events_processed`` on exactly the simulations
+    the evaluation pipeline would run.
     """
     if scenario.topology is not None:
-        return _run_topology_scenario(scenario)
+        return _build_topology_simulation(scenario)
     network = scenario.build_network()
     controllers, starts, stops = [], [], []
     for flow in scenario.flows:
@@ -507,14 +509,35 @@ def run_scenario(scenario: Scenario) -> list[FlowRecord]:
         controllers.append(_build_controller(flow, network, seed))
         starts.append(flow.start)
         stops.append(flow.stop)
-    return run_competition(controllers, network, duration=scenario.duration,
-                           start_times=starts, stop_times=stops,
-                           seed=scenario.seed, mi_duration=scenario.mi_duration,
-                           transit=scenario.transit)
+    return build_competition(controllers, network, duration=scenario.duration,
+                             start_times=starts, stop_times=stops,
+                             seed=scenario.seed,
+                             mi_duration=scenario.mi_duration,
+                             transit=scenario.transit)
 
 
-def _run_topology_scenario(scenario: Scenario) -> list[FlowRecord]:
-    """Execute a multi-bottleneck scenario over its built topology.
+def simulate_scenario(scenario: Scenario) -> tuple[list[FlowRecord], Simulation]:
+    """Run one scenario; return ``(records, finished_simulation)``.
+
+    The simulation comes back finalized, with engine diagnostics
+    (``events_processed``, per-link counters) readable.
+    """
+    sim = build_scenario_simulation(scenario)
+    return sim.run_all(), sim
+
+
+def run_scenario(scenario: Scenario) -> list[FlowRecord]:
+    """Execute one scenario serially; the runner's worker entry point.
+
+    Equivalent to the hand-rolled ``scheme_factory`` + ``run_scheme`` /
+    ``run_competition`` loops the benchmarks used to contain: same
+    seeds, same event streams, identical records.
+    """
+    return simulate_scenario(scenario)[0]
+
+
+def _build_topology_simulation(scenario: Scenario) -> Simulation:
+    """Wire a multi-bottleneck scenario over its built topology.
 
     Controllers are sized per flow from the *path* the flow traverses
     (nominal bottleneck capacity and propagation delay), mirroring how
@@ -537,9 +560,8 @@ def _run_topology_scenario(scenario: Scenario) -> list[FlowRecord]:
             controller=controller, start_time=flow.start, stop_time=flow.stop,
             packet_bytes=packet_bytes, mi_duration=scenario.mi_duration,
             path=flow.path))
-    sim = Simulation(topology, flow_specs, duration=scenario.duration,
-                     seed=scenario.seed, transit=scenario.transit)
-    return sim.run_all()
+    return Simulation(topology, flow_specs, duration=scenario.duration,
+                      seed=scenario.seed, transit=scenario.transit)
 
 
 def _coerce_lineups(lineups) -> tuple:

@@ -12,6 +12,15 @@ the backlog is at the buffer limit is discarded.
 Random loss is an independent Bernoulli drop applied *after* queueing
 (i.e. on the wire), matching the "random loss rate" knob of Table 3 and
 Fig. 5(c).
+
+``transmit()`` is the single hottest call of the event engine (once
+per packet per hop, both directions), so it is allocation-free: the
+outcome is a plain ``(delivered, drop_kind, depart_time, queue_delay)``
+tuple rather than a result object, constant-rate links read a cached
+rate instead of calling through the trace, and the drop threshold is
+precomputed.  :class:`PropagationLink` additionally exposes
+``pure_delay`` so the engine can skip the offer entirely on
+pure-propagation pseudo-links.
 """
 
 from __future__ import annotations
@@ -20,20 +29,7 @@ import numpy as np
 
 from repro.netsim.traces import BandwidthTrace, ConstantTrace
 
-__all__ = ["Link", "PropagationLink", "TransmitResult"]
-
-
-class TransmitResult:
-    """Outcome of offering one packet to the link at a given time."""
-
-    __slots__ = ("delivered", "drop_kind", "depart_time", "queue_delay")
-
-    def __init__(self, delivered: bool, drop_kind: str | None,
-                 depart_time: float, queue_delay: float):
-        self.delivered = delivered
-        self.drop_kind = drop_kind
-        self.depart_time = depart_time
-        self.queue_delay = queue_delay
+__all__ = ["Link", "PropagationLink"]
 
 
 class Link:
@@ -59,18 +55,22 @@ class Link:
         for path wiring and diagnostics.
     """
 
+    #: One-way delay of a pure-propagation pseudo-link, or ``None`` for
+    #: a real queued link.  The engine fast-paths ``pure_delay`` links
+    #: (arrival = now + delay) without an offer -- see
+    #: :class:`PropagationLink`, which is the only subclass setting it.
+    pure_delay: float | None = None
+
     def __init__(self, trace: BandwidthTrace | float, delay: float,
                  queue_size: int, loss_rate: float = 0.0,
                  rng: np.random.Generator | None = None, name: str = ""):
-        if isinstance(trace, (int, float)):
-            trace = ConstantTrace(float(trace))
         if delay < 0:
             raise ValueError("delay must be non-negative")
         if queue_size < 0:
             raise ValueError("queue_size must be non-negative")
         if not 0.0 <= loss_rate < 1.0:
             raise ValueError("loss_rate must be in [0, 1)")
-        self.trace = trace
+        self.trace = trace  # property: also refreshes the cached rate
         self.delay = float(delay)
         self.queue_size = int(queue_size)
         self.loss_rate = float(loss_rate)
@@ -90,11 +90,29 @@ class Link:
         self.last_arrival = float("-inf")
         self.reordered = 0
 
+    @property
+    def trace(self) -> BandwidthTrace:
+        """Capacity process; assigning one refreshes the cached rate."""
+        return self._trace
+
+    @trace.setter
+    def trace(self, trace: BandwidthTrace | float) -> None:
+        if isinstance(trace, (int, float)):
+            trace = ConstantTrace(float(trace))
+        self._trace = trace
+        #: Cached service rate for constant traces (``None`` = look the
+        #: rate up through the trace per offer).  Saves two method
+        #: calls per transmit on the constant-rate grids that dominate
+        #: the evaluation matrix; kept coherent here so replacing the
+        #: trace mid-experiment can never simulate a stale rate.
+        self._const_rate = trace.constant_rate()
+
     # --- queue state ------------------------------------------------------
 
     def bandwidth_at(self, t: float) -> float:
         """Instantaneous service rate (packets/second)."""
-        return self.trace.bandwidth_at(t)
+        rate = self._const_rate
+        return rate if rate is not None else self.trace.bandwidth_at(t)
 
     def queue_delay_at(self, t: float) -> float:
         """Waiting time a packet arriving at ``t`` would spend queued."""
@@ -106,7 +124,7 @@ class Link:
 
     # --- transmission -----------------------------------------------------
 
-    def transmit(self, t: float, size: float = 1.0) -> TransmitResult:
+    def transmit(self, t: float, size: float = 1.0) -> tuple:
         """Offer one packet to the link at time ``t``.
 
         ``size`` scales the service demand relative to a nominal data
@@ -115,33 +133,39 @@ class Link:
         and the backlog, measured in packet-equivalents -- in
         proportion to their actual size.
 
-        Returns a :class:`TransmitResult`; ``depart_time`` is the time
-        the packet reaches the far end of the link (queue + service +
-        propagation) when delivered.  For buffer drops ``depart_time``
-        is the moment of the drop (the packet never leaves); for random
-        drops it is the time the packet would have arrived (the drop
-        happens on the wire, so downstream loss detection sees the
-        normal timing).
+        Returns the tuple ``(delivered, drop_kind, depart_time,
+        queue_delay)``; ``depart_time`` is the time the packet reaches
+        the far end of the link (queue + service + propagation) when
+        delivered.  For buffer drops ``depart_time`` is the moment of
+        the drop (the packet never leaves); for random drops it is the
+        time the packet would have arrived (the drop happens on the
+        wire, so downstream loss detection sees the normal timing).
         """
-        if t < self.last_arrival - 1e-12:
+        last = self.last_arrival
+        if t < last - 1e-12:
             self.reordered += 1
-        self.last_arrival = max(self.last_arrival, t)
-        rate = self.bandwidth_at(t)
+        if t > last:
+            self.last_arrival = t
+        rate = self._const_rate
+        if rate is None:
+            rate = self.trace.bandwidth_at(t)
         service = size / rate
-        queue_delay = self.queue_delay_at(t)
-        backlog = queue_delay * rate
+        busy = self.busy_until
+        queue_delay = busy - t
+        if queue_delay < 0.0:
+            queue_delay = 0.0
         # The buffer holds `queue_size` waiting packet-equivalents; the
         # packet in service occupies the server, not the buffer.
-        if backlog >= self.queue_size + 1.0 - 1e-9:
+        if queue_delay * rate >= self.queue_size + 1.0 - 1e-9:
             self.dropped_buffer += 1
-            return TransmitResult(False, "buffer", t, queue_delay)
-        self.busy_until = max(self.busy_until, t) + service
+            return (False, "buffer", t, queue_delay)
+        self.busy_until = (busy if busy > t else t) + service
         depart = t + queue_delay + service + self.delay
         if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
             self.dropped_random += 1
-            return TransmitResult(False, "random", depart, queue_delay)
+            return (False, "random", depart, queue_delay)
         self.delivered += 1
-        return TransmitResult(True, None, depart, queue_delay)
+        return (True, None, depart, queue_delay)
 
     def reset(self) -> None:
         """Clear queue state and counters."""
@@ -174,15 +198,21 @@ class PropagationLink(Link):
     at ``t + delay``, bit-for-bit, regardless of load.  Wiring real
     :class:`Link` objects into a path's reverse list replaces this with
     emergent reverse-path queueing.
+
+    ``pure_delay`` (the same delay, non-``None`` only here) lets the
+    engine's per-hop scheduler compute that arrival arithmetic inline
+    -- the zero-work fast path -- without the call; ``transmit()``
+    stays for direct callers and keeps the identical contract.
     """
 
     def __init__(self, delay: float, name: str = ""):
         super().__init__(trace=ConstantTrace(1.0), delay=delay,
                          queue_size=0, name=name)
+        self.pure_delay = self.delay
 
-    def transmit(self, t: float, size: float = 1.0) -> TransmitResult:
+    def transmit(self, t: float, size: float = 1.0) -> tuple:
         # Stateless on purpose: infinite capacity, zero service time.
-        return TransmitResult(True, None, t + self.delay, 0.0)
+        return (True, None, t + self.delay, 0.0)
 
     def queue_delay_at(self, t: float) -> float:
         return 0.0

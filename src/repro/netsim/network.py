@@ -30,9 +30,10 @@ Event kinds:
   notice charges estimated queueing on the links past the drop and
   transits the reverse path like an ack);
 * ``rto``   -- retransmit-timeout fallback for an acknowledgement that
-  was buffer-dropped on a queued reverse link: if no later cumulative
-  ack reached the sender first, the packet is surfaced as a loss (the
-  spurious-timeout behaviour of a real sender);
+  was dropped on a reverse link (buffer overflow or random wire drop
+  alike): if no later cumulative ack reached the sender first, the
+  packet is surfaced as a loss (the spurious-timeout behaviour of a
+  real sender);
 * ``mi``    -- a flow's monitor-interval boundary.
 
 ``transit="eager"`` retains the pre-refactor scheme -- every forward
@@ -52,6 +53,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
+from heapq import heappush
 
 import numpy as np
 
@@ -89,6 +91,20 @@ ACK_RTO_FACTOR = 3.0
 #: store-and-forward device exhibits, the per-hop analogue of the
 #: pacing jitter ``_handle_send`` applies.
 HOP_JITTER_FACTOR = 0.5
+
+# Integer event kinds, indexing the per-simulation handler table -- the
+# hot loop dispatches ``handlers[kind](flow, packet)`` instead of
+# walking a string-comparison chain.  Heap order is unaffected: the
+# per-push sequence number breaks every time tie before a kind would be
+# compared, so swapping strings for ints keeps event order bit-exact.
+EV_START, EV_SEND, EV_HOP, EV_RCV, EV_ACK, EV_LOSS, EV_RTO, EV_MI = range(8)
+
+#: How many uniform draws are prefetched per block from the pacing and
+#: hop-dither generators.  Block draws are element-wise identical to
+#: repeated scalar draws on the same ``numpy`` bitstream, so batching
+#: changes no result -- it only amortizes the per-call generator
+#: overhead across ``RNG_BLOCK`` packets.
+RNG_BLOCK = 512
 
 
 @dataclass
@@ -150,6 +166,7 @@ class Simulation:
             raise ValueError(f"unknown transit mode {transit!r}; "
                              f"use 'event' or 'eager'")
         self.transit = transit
+        self._eager = transit == "eager"
         self.hop_jitter = float(hop_jitter)
         if isinstance(links, Topology):
             self.topology = links
@@ -167,9 +184,26 @@ class Simulation:
         #: sequence (and with it every single-hop race) would shift
         #: relative to the eager twin.
         self._hop_rng = np.random.default_rng((seed, 0x517CC1B7))
+        # Prefetched uniform blocks (see RNG_BLOCK).  Nothing outside
+        # the engine reads these generators, so prefetching cannot
+        # perturb any other stream.
+        self._jitter_buf = None
+        self._jitter_pos = 0
+        self._hop_buf = None
+        self._hop_pos = 0
         self.now = 0.0
-        self._heap: list[tuple[float, int, str, int, Packet | None]] = []
+        self._heap: list[tuple[float, int, int, int, Packet | None]] = []
         self._seq = 0
+        #: Lifetime count of events dispatched by :meth:`run` -- the
+        #: denominator-free engine-speed metric (events/sec = this over
+        #: wall time) tracked by :mod:`repro.eval.perf` and
+        #: ``benchmarks/bench_engine_speed.py``.
+        self.events_processed = 0
+        # Handler table indexed by the EV_* event kinds.
+        self._handlers = (
+            self._handle_start, self._handle_send, self._advance_packet,
+            self._handle_receive, self._handle_ack, self._handle_loss,
+            self._handle_ack_rto, self._handle_mi)
 
         #: Base RTT of the topology's default path -- the single-path
         #: quantity legacy callers (gym envs, single-flow runners) read.
@@ -185,47 +219,67 @@ class Simulation:
                 mi_duration=spec.mi_duration, keep_packets=spec.keep_packets)
             flow.path_name = path.name
             flow.links = path.links
+            flow.n_links = len(path.links)
             flow.reverse_links = path.reverse_links
+            flow.n_rev_links = len(path.reverse_links)
+            # Single pure-propagation reverse pseudo-link (the default
+            # return for every unwired path): the receive handler
+            # inlines the whole reverse walk.
+            flow.pure_return_delay = (
+                path.reverse_links[0].pure_delay
+                if len(path.reverse_links) == 1 else None)
             flow.base_rtt = path.base_rtt
             flow.return_delay = path.return_delay
-            flow.ack_bytes = (ACK_BYTES if path.ack_bytes is None
-                              else path.ack_bytes)
+            flow.set_ack_bytes(ACK_BYTES if path.ack_bytes is None
+                               else path.ack_bytes)
+            flow.init_hop_floors()
             flow.max_rate = MAX_RATE_FACTOR * min(
                 link.trace.max_bandwidth() for link in path.links)
             if flow.mi_duration is None:
                 flow.mi_duration = max(flow.base_rtt, MIN_MI_DURATION)
             self.flows.append(flow)
-            self._push(spec.start_time, "start", flow.flow_id, None)
+            self._push(spec.start_time, EV_START, flow, None)
 
     # --- event plumbing -----------------------------------------------------
 
-    def _push(self, time: float, kind: str, flow_id: int, packet: Packet | None) -> None:
-        self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, kind, flow_id, packet))
+    def _push(self, time: float, kind: int, flow: Flow, packet: Packet | None) -> None:
+        # Heap entries carry the flow object itself: comparisons never
+        # reach it (the unique ``seq`` breaks every time tie first), and
+        # dispatch skips a list lookup per event.  The hottest sites
+        # inline this body next to their heappush.
+        seq = self._seq + 1
+        self._seq = seq
+        heappush(self._heap, (time, seq, kind, flow, packet))
 
     def run(self, until: float | None = None) -> None:
-        """Process events up to ``until`` (default: the full duration)."""
+        """Process events up to ``until`` (default: the full duration).
+
+        The loop body is deliberately bare -- heap pop, clock store,
+        one indexed dispatch through the handler table -- with every
+        loop-invariant lookup hoisted to a local.  All handlers share
+        the ``(flow, packet)`` signature (packet ``None`` for
+        flow-level events) so dispatch needs no per-kind argument
+        shapes.
+        """
         horizon = self.duration if until is None else min(until, self.duration)
-        while self._heap and self._heap[0][0] <= horizon:
-            time, _, kind, flow_id, packet = heapq.heappop(self._heap)
+        heap = self._heap
+        handlers = self._handlers
+        pop = heapq.heappop
+        processed = 0
+        # Pop-first loop: testing the popped event against the horizon
+        # (and pushing the lone overshooting event back, key unchanged,
+        # so pop order is unaffected) is cheaper than re-reading
+        # ``heap[0][0]`` on every iteration of the hot loop.
+        while heap:
+            item = pop(heap)
+            time = item[0]
+            if time > horizon:
+                heappush(heap, item)
+                break
             self.now = time
-            flow = self.flows[flow_id]
-            if kind == "start":
-                self._handle_start(flow)
-            elif kind == "send":
-                self._handle_send(flow)
-            elif kind == "hop":
-                self._advance_packet(flow, packet)
-            elif kind == "rcv":
-                self._handle_receive(flow, packet)
-            elif kind == "ack":
-                self._handle_ack(flow, packet)
-            elif kind == "loss":
-                self._handle_loss(flow, packet)
-            elif kind == "rto":
-                self._handle_ack_rto(flow, packet)
-            elif kind == "mi":
-                self._handle_mi(flow)
+            processed += 1
+            handlers[item[2]](item[3], item[4])
+        self.events_processed += processed
         self.now = max(self.now, horizon)
 
     def run_all(self) -> list[FlowRecord]:
@@ -249,20 +303,35 @@ class Simulation:
 
     # --- event handlers -------------------------------------------------------
 
-    def _handle_start(self, flow: Flow) -> None:
+    def _handle_start(self, flow: Flow, packet: Packet | None = None) -> None:
         flow.started = True
         flow.mi_start = self.now
         flow.controller.on_flow_start(flow, self.now)
-        self._push(self.now + flow.mi_duration, "mi", flow.flow_id, None)
+        self._push(self.now + flow.mi_duration, EV_MI, flow, None)
         self._schedule_send(flow, self.now)
 
-    def _handle_send(self, flow: Flow) -> None:
+    def _next_jitter(self) -> float:
+        """Next send-pacing uniform, served from the prefetched block.
+
+        ``tolist()`` converts the block to Python floats once at draw
+        time (exact: float64 -> float is lossless), so per-packet reads
+        are plain list indexing with no numpy scalar boxing.
+        """
+        pos = self._jitter_pos
+        buf = self._jitter_buf
+        if buf is None or pos >= RNG_BLOCK:
+            buf = self._jitter_buf = self.rng.random(RNG_BLOCK).tolist()
+            pos = 0
+        self._jitter_pos = pos + 1
+        return buf[pos]
+
+    def _handle_send(self, flow: Flow, packet: Packet | None = None) -> None:
         flow.send_scheduled = False
-        if flow.stopped or self.now >= flow.stop_time:
+        now = self.now
+        if flow.stopped or now >= flow.stop_time:
             return
-        controller = flow.controller
-        if controller.kind == "window":
-            cwnd = controller.cwnd(self.now)
+        if flow.is_window:
+            cwnd = flow.cwnd_fn(now)
             if flow.inflight >= cwnd:
                 return  # re-armed by the next ack/loss
             self._emit_packet(flow)
@@ -270,18 +339,22 @@ class Simulation:
                 # Pace the remaining window over one smoothed RTT.
                 srtt = flow.srtt or max(flow.base_rtt, MIN_MI_DURATION)
                 gap = srtt / max(cwnd, 1.0)
-                self._schedule_send(flow, self.now + gap)
+                self._schedule_send(flow, now + gap)
         else:
-            rate = controller.pacing_rate(self.now)
+            rate = flow.pacing_fn(now)
             rate = min(max(rate, MIN_RATE_PPS), flow.max_rate)
-            cap = controller.inflight_cap(self.now)
-            if cap is None or flow.inflight < cap:
+            cap_fn = flow.cap_fn
+            if cap_fn is None:
                 self._emit_packet(flow)
+            else:
+                cap = cap_fn(now)
+                if cap is None or flow.inflight < cap:
+                    self._emit_packet(flow)
             # Small pacing jitter: without it, equal-rate flows phase-lock
             # (one flow's packet always reaches a full queue first and the
             # other takes every drop) -- an artifact no real pacer has.
-            gap = (1.0 / rate) * (1.0 + self.jitter * (self.rng.random() - 0.5))
-            self._schedule_send(flow, self.now + gap)
+            gap = (1.0 / rate) * (1.0 + self.jitter * (self._next_jitter() - 0.5))
+            self._schedule_send(flow, now + gap)
 
     def _schedule_send(self, flow: Flow, time: float) -> None:
         if flow.send_scheduled or flow.stopped:
@@ -289,14 +362,18 @@ class Simulation:
         if time >= flow.stop_time:
             return
         flow.send_scheduled = True
-        self._push(max(time, self.now), "send", flow.flow_id, None)
+        now = self.now
+        seq = self._seq + 1
+        self._seq = seq
+        heappush(self._heap, (time if time > now else now, seq, EV_SEND,
+                              flow, None))
 
     def _emit_packet(self, flow: Flow) -> None:
-        packet = Packet(flow_id=flow.flow_id, seq=flow.next_seq,
-                        send_time=self.now, size_bytes=flow.packet_bytes)
+        packet = Packet(flow.flow_id, flow.next_seq, self.now,
+                        flow.packet_bytes)
         flow.next_seq += 1
         flow.note_sent(packet)
-        if self.transit == "eager":
+        if self._eager:
             self._emit_eager(flow, packet)
         else:
             # The packet enters the forward direction now: hop 0 is
@@ -321,12 +398,14 @@ class Simulation:
         if packet.reversing:
             self._advance_reverse(flow, packet)
             return
-        link = flow.links[packet.hop]
-        result = link.transmit(self.now)
-        packet.queue_delay += result.queue_delay
-        if not result.delivered:
+        hop = packet.hop
+        links = flow.links
+        link = links[hop]
+        delivered, drop_kind, depart, queue_delay = link.transmit(self.now)
+        packet.queue_delay += queue_delay
+        if not delivered:
             packet.dropped = True
-            packet.drop_kind = result.drop_kind
+            packet.drop_kind = drop_kind
             # The receiver observes the gap roughly when the dropped
             # packet would have arrived.  A random drop happens on the
             # wire, so ``depart_time`` already carries the normal
@@ -337,22 +416,25 @@ class Simulation:
             # occupancy plus service, not bare propagation -- the gap
             # is observed at the receiver only after the packets
             # already queued downstream drain ahead of it.
-            if result.drop_kind == "random":
-                cursor = result.depart_time
+            if drop_kind == "random":
+                cursor = depart
             else:
-                cursor = self.now + result.queue_delay + link.delay
-            for l in flow.links[packet.hop + 1:]:
+                cursor = self.now + queue_delay + link.delay
+            for l in links[hop + 1:]:
                 cursor += (l.queue_delay_at(cursor)
                            + 1.0 / l.bandwidth_at(cursor) + l.delay)
-            self._push(cursor, "rcv", flow.flow_id, packet)
+            self._push(cursor, EV_RCV, flow, packet)
             return
-        packet.hop += 1
-        if packet.hop < len(flow.links):
-            arrival = self._dither_arrival(flow, packet, result.depart_time)
-            self._push(arrival, "hop", flow.flow_id, packet)
+        hop += 1
+        packet.hop = hop
+        seq = self._seq + 1
+        self._seq = seq
+        if hop < flow.n_links:
+            arrival = self._dither_arrival(flow, packet, depart)
+            heappush(self._heap, (arrival, seq, EV_HOP, flow, packet))
         else:
-            packet.arrival_time = result.depart_time
-            self._push(result.depart_time, "rcv", flow.flow_id, packet)
+            packet.arrival_time = depart
+            heappush(self._heap, (depart, seq, EV_RCV, flow, packet))
 
     def _dither_arrival(self, flow: Flow, packet: Packet, depart: float) -> float:
         """Forwarding dither for a deferred hop arrival.
@@ -366,15 +448,25 @@ class Simulation:
         receiver/sender arrival, so single-hop forward paths and
         pure-propagation returns keep their exact timing.
         """
-        links = flow.reverse_links if packet.reversing else flow.links
+        reversing = packet.reversing
+        hop = packet.hop
         if self.hop_jitter > 0.0:
-            size = flow.ack_size if packet.reversing else 1.0
-            service = size / links[packet.hop].bandwidth_at(depart)
-            depart += self.hop_jitter * self._hop_rng.random() * service
-        key = (packet.reversing, packet.hop)
-        arrival = max(depart, flow.hop_arrival_floor.get(key, 0.0))
-        flow.hop_arrival_floor[key] = arrival
-        return arrival
+            links = flow.reverse_links if reversing else flow.links
+            size = flow.ack_size if reversing else 1.0
+            service = size / links[hop].bandwidth_at(depart)
+            pos = self._hop_pos
+            buf = self._hop_buf
+            if buf is None or pos >= RNG_BLOCK:
+                buf = self._hop_buf = self._hop_rng.random(RNG_BLOCK).tolist()
+                pos = 0
+            self._hop_pos = pos + 1
+            depart += self.hop_jitter * buf[pos] * service
+        floors = flow.rev_hop_floor if reversing else flow.fwd_hop_floor
+        floor = floors[hop]
+        if depart > floor:
+            floors[hop] = depart
+            return depart
+        return floor
 
     def _advance_reverse(self, flow: Flow, packet: Packet) -> None:
         """One reverse hop of an ack / loss notice at the current clock.
@@ -385,43 +477,59 @@ class Simulation:
         loss information is implied by every later cumulative ack, so a
         congested reverse hop shows up as delay: a buffer-dropped
         notice is delivered with the timing a packet just behind the
-        drop would see.  A buffer-dropped *ack*, however, really is
-        lost: the packet parks in ``flow.pending_acks`` until a later
-        cumulative ack reaches the sender, with an ``"rto"`` event as
-        the retransmit-timeout fallback.  A random (wire) drop keeps
-        the delivered-at-normal-timing semantics for both: cumulative
-        acknowledgement covers a corrupted ack within a packet gap,
-        indistinguishable from delivery at this timescale.
+        drop would see, and a randomly (wire-)dropped notice with its
+        normal timing.  A dropped *ack*, however, really is lost --
+        whether the reverse buffer overflowed or the wire corrupted it
+        (a real sender cannot tell the difference): the packet parks in
+        ``flow.pending_acks`` until a later cumulative ack reaches the
+        sender, with an ``"rto"`` event as the retransmit-timeout
+        fallback.  (The eager twin keeps its frozen pre-refactor
+        semantics: every dropped ack delivered late or at normal
+        timing, never lost.)
         """
-        link = flow.reverse_links[packet.hop]
-        size = flow.ack_size
-        result = link.transmit(self.now, size=size)
-        packet.ack_queue_delay += result.queue_delay
-        if not result.delivered and result.drop_kind == "buffer" \
-                and not packet.dropped:
-            # Real ack loss: sender recovery via cumulative ack or RTO.
-            flow.pending_acks[packet.seq] = packet
-            rto = ACK_RTO_FACTOR * max(flow.srtt or flow.base_rtt,
-                                       MIN_MI_DURATION)
-            self._push(self.now + rto, "rto", flow.flow_id, packet)
-            return
-        if result.delivered or result.drop_kind == "random":
-            # A random drop's depart_time already carries the full
-            # queue + service + propagation timing.
-            cursor = result.depart_time
+        reverse_links = flow.reverse_links
+        hop = packet.hop
+        link = reverse_links[hop]
+        pure = link.pure_delay
+        if pure is not None:
+            # Zero-work fast path: a pure-propagation pseudo-link never
+            # queues, drops, or counts -- the arrival is an addition.
+            cursor = self.now + pure
         else:
-            # Buffer-dropped loss notice: delivered late.
-            cursor = (self.now + result.queue_delay
-                      + size / link.bandwidth_at(self.now) + link.delay)
-        packet.hop += 1
-        if packet.hop < len(flow.reverse_links):
+            size = flow.ack_size
+            delivered, drop_kind, depart, queue_delay = \
+                link.transmit(self.now, size)
+            packet.ack_queue_delay += queue_delay
+            if not delivered and not packet.dropped:
+                # Real ack loss (buffer overflow or wire drop alike):
+                # sender recovery via cumulative ack or RTO.
+                flow.pending_acks[packet.seq] = packet
+                rto = ACK_RTO_FACTOR * max(flow.srtt or flow.base_rtt,
+                                           MIN_MI_DURATION)
+                self._push(self.now + rto, EV_RTO, flow, packet)
+                return
+            if delivered or drop_kind == "random":
+                # A random drop's depart_time already carries the full
+                # queue + service + propagation timing (loss notices
+                # only -- a random-dropped ack parked above).
+                cursor = depart
+            else:
+                # Buffer-dropped loss notice: delivered late.
+                cursor = (self.now + queue_delay
+                          + size / link.bandwidth_at(self.now) + link.delay)
+        hop += 1
+        packet.hop = hop
+        if hop < flow.n_rev_links:
             self._push(self._dither_arrival(flow, packet, cursor),
-                       "hop", flow.flow_id, packet)
-        elif packet.dropped:
-            self._push(cursor, "loss", flow.flow_id, packet)
+                       EV_HOP, flow, packet)
+            return
+        seq = self._seq + 1
+        self._seq = seq
+        if packet.dropped:
+            heappush(self._heap, (cursor, seq, EV_LOSS, flow, packet))
         else:
             packet.ack_time = cursor
-            self._push(cursor, "ack", flow.flow_id, packet)
+            heappush(self._heap, (cursor, seq, EV_ACK, flow, packet))
 
     # --- eager twin (transit="eager", the pre-refactor scheme) ---------------
 
@@ -431,28 +539,28 @@ class Simulation:
         queue_delay = 0.0
         delivered = True
         for hop, link in enumerate(flow.links):
-            result = link.transmit(cursor)
-            queue_delay += result.queue_delay
-            if not result.delivered:
+            ok, drop_kind, depart, hop_queue_delay = link.transmit(cursor)
+            queue_delay += hop_queue_delay
+            if not ok:
                 delivered = False
                 packet.dropped = True
-                packet.drop_kind = result.drop_kind
-                if result.drop_kind == "random":
-                    loss_cursor = result.depart_time
+                packet.drop_kind = drop_kind
+                if drop_kind == "random":
+                    loss_cursor = depart
                 else:
-                    loss_cursor = cursor + result.queue_delay + link.delay
+                    loss_cursor = cursor + hop_queue_delay + link.delay
                 for l in flow.links[hop + 1:]:
                     loss_cursor += (l.queue_delay_at(loss_cursor)
                                     + 1.0 / l.bandwidth_at(loss_cursor)
                                     + l.delay)
-                self._push(loss_cursor, "rcv", flow.flow_id, packet)
+                self._push(loss_cursor, EV_RCV, flow, packet)
                 break
-            cursor = result.depart_time
+            cursor = depart
         packet.queue_delay = queue_delay
 
         if delivered:
             packet.arrival_time = cursor
-            self._push(cursor, "rcv", flow.flow_id, packet)
+            self._push(cursor, EV_RCV, flow, packet)
 
     def _transit_reverse(self, flow: Flow, cursor: float) -> tuple[float, float]:
         """Eager twin's reverse walk: all hops at ``rcv`` time.
@@ -465,14 +573,19 @@ class Simulation:
         size = flow.ack_size
         queue_delay = 0.0
         for link in flow.reverse_links:
-            result = link.transmit(cursor, size=size)
-            queue_delay += result.queue_delay
-            if result.delivered or result.drop_kind == "random":
+            pure = link.pure_delay
+            if pure is not None:
+                cursor += pure
+                continue
+            delivered, drop_kind, depart, hop_queue_delay = \
+                link.transmit(cursor, size)
+            queue_delay += hop_queue_delay
+            if delivered or drop_kind == "random":
                 # A random drop's depart_time already carries the full
                 # queue + service + propagation timing.
-                cursor = result.depart_time
+                cursor = depart
             else:
-                cursor += (result.queue_delay
+                cursor += (hop_queue_delay
                            + size / link.bandwidth_at(cursor) + link.delay)
         return cursor, queue_delay
 
@@ -481,18 +594,35 @@ class Simulation:
     def _handle_receive(self, flow: Flow, packet: Packet) -> None:
         """The receiver observed a packet (or a drop's gap): its ack /
         loss notice starts walking the flow's reverse links."""
-        if self.transit == "eager":
+        if self._eager:
             arrival, queue_delay = self._transit_reverse(flow, self.now)
             if packet.dropped:
-                self._push(arrival, "loss", flow.flow_id, packet)
+                self._push(arrival, EV_LOSS, flow, packet)
             else:
                 packet.ack_time = arrival
                 packet.ack_queue_delay = queue_delay
-                self._push(arrival, "ack", flow.flow_id, packet)
+                self._push(arrival, EV_ACK, flow, packet)
             return
         packet.reversing = True
+        pure = flow.pure_return_delay
+        if pure is not None:
+            # The dominant shape -- a single pure-propagation reverse
+            # pseudo-link -- fully inlined: the whole reverse walk is
+            # one addition and one push.
+            packet.hop = 1
+            cursor = self.now + pure
+            seq = self._seq + 1
+            self._seq = seq
+            if packet.dropped:
+                heappush(self._heap,
+                         (cursor, seq, EV_LOSS, flow, packet))
+            else:
+                packet.ack_time = cursor
+                heappush(self._heap,
+                         (cursor, seq, EV_ACK, flow, packet))
+            return
         packet.hop = 0
-        self._advance_packet(flow, packet)
+        self._advance_reverse(flow, packet)
 
     def _recover_pending(self, flow: Flow, before_seq: int) -> None:
         """Cumulative feedback below ``before_seq`` reached the sender:
@@ -506,13 +636,21 @@ class Simulation:
             recovered.ack_time = self.now
             recovered.ack_recovered = True
             flow.note_ack(recovered, self.now)
-            flow.controller.on_ack(flow, recovered, self.now)
+            if flow.on_ack_cb is not None:
+                flow.on_ack_cb(flow, recovered, self.now)
 
     def _handle_ack(self, flow: Flow, packet: Packet) -> None:
-        self._recover_pending(flow, packet.seq)
-        flow.note_ack(packet, self.now)
-        flow.controller.on_ack(flow, packet, self.now)
-        self._clock_window(flow)
+        now = self.now
+        if flow.pending_acks:
+            self._recover_pending(flow, packet.seq)
+        flow.note_ack(packet, now)
+        cb = flow.on_ack_cb
+        if cb is not None:
+            cb(flow, packet, now)
+        # _clock_window inlined: this runs once per delivered packet.
+        if flow.is_window and not flow.stopped \
+                and flow.inflight < flow.cwnd_fn(now):
+            self._schedule_send(flow, now)
 
     def _handle_ack_rto(self, flow: Flow, packet: Packet) -> None:
         """Retransmit-timeout fallback for a buffer-dropped ack."""
@@ -523,7 +661,8 @@ class Simulation:
         # timeout a real stack fires when the ack path eats its acks.
         packet.ack_dropped = True
         flow.note_loss(packet, self.now)
-        flow.controller.on_loss(flow, packet, self.now)
+        if flow.on_loss_cb is not None:
+            flow.on_loss_cb(flow, packet, self.now)
         self._clock_window(flow)
 
     def _handle_loss(self, flow: Flow, packet: Packet) -> None:
@@ -533,27 +672,42 @@ class Simulation:
         # just like a delivered ack does.
         self._recover_pending(flow, packet.seq)
         flow.note_loss(packet, self.now)
-        flow.controller.on_loss(flow, packet, self.now)
+        if flow.on_loss_cb is not None:
+            flow.on_loss_cb(flow, packet, self.now)
         self._clock_window(flow)
 
     def _clock_window(self, flow: Flow) -> None:
         """Ack-clocking: window flows send as soon as the window opens."""
-        if flow.stopped or flow.controller.kind != "window":
+        if flow.stopped or not flow.is_window:
             return
-        if flow.inflight < flow.controller.cwnd(self.now):
+        if flow.inflight < flow.cwnd_fn(self.now):
             self._schedule_send(flow, self.now)
 
-    def _handle_mi(self, flow: Flow) -> None:
+    def _handle_mi(self, flow: Flow, packet: Packet | None = None) -> None:
         if flow.stopped:
             return
         if self.now >= flow.stop_time:
             flow.stopped = True
             return
         self._close_mi(flow, self.now)
-        self._push(self.now + flow.mi_duration, "mi", flow.flow_id, None)
+        self._push(self.now + flow.mi_duration, EV_MI, flow, None)
 
     def _close_mi(self, flow: Flow, now: float) -> None:
-        capacity = self._bottleneck_capacity(flow, flow.mi_start, now)
+        # O(1) bottleneck capacity on constant-rate paths: every
+        # constant link's mean_bandwidth over any interval *is* its
+        # cached rate, so the min needs no trace sampling.  Read live
+        # (not snapshotted at wiring) so replacing a link's trace
+        # mid-experiment -- which the Link.trace setter keeps coherent
+        # -- is honoured here too; any non-constant link falls back to
+        # the midpoint-sampling estimate.
+        capacity = float("inf")
+        for link in flow.links:
+            rate = link._const_rate
+            if rate is None:
+                capacity = self._bottleneck_capacity(flow, flow.mi_start, now)
+                break
+            if rate < capacity:
+                capacity = rate
         rate = self._effective_rate(flow)
         stats = flow.finish_mi(now, capacity, flow.base_rtt, rate)
         flow.controller.on_mi(flow, stats, now)

@@ -20,6 +20,7 @@ RTT, and the three state features the paper feeds its model --
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -175,6 +176,26 @@ class Flow:
                  mi_duration: float | None = None, keep_packets: bool = False):
         self.flow_id = flow_id
         self.controller = controller
+        #: Cached ``controller.kind == "window"`` -- read on every ack
+        #: by the engine's ack-clocking check.
+        self.is_window = controller.kind == "window"
+        # Bound-method caches for the controller hooks the engine fires
+        # per packet: one attribute walk here instead of two per event,
+        # and hooks a controller never overrode stay ``None`` so the
+        # engine skips the call outright (a no-op call and no call are
+        # indistinguishable, so results are untouched).
+        ctrl_type = type(controller)
+        self.on_ack_cb = (controller.on_ack
+                          if ctrl_type.on_ack is not Controller.on_ack
+                          else None)
+        self.on_loss_cb = (controller.on_loss
+                           if ctrl_type.on_loss is not Controller.on_loss
+                           else None)
+        self.cwnd_fn = controller.cwnd if self.is_window else None
+        self.pacing_fn = None if self.is_window else controller.pacing_rate
+        self.cap_fn = (controller.inflight_cap
+                       if not self.is_window and ctrl_type.inflight_cap
+                       is not Controller.inflight_cap else None)
         self.packet_bytes = packet_bytes
         self.start_time = start_time
         self.stop_time = stop_time
@@ -192,30 +213,42 @@ class Flow:
         # defaults describe a standalone flow outside any simulation).
         self.path_name: str | None = None
         self.links: tuple = ()
+        self.n_links = 0
         #: Ordered reverse links acks/loss notices transit (a single
         #: pure-propagation pseudo-link unless the topology wires a
         #: real reverse route).
         self.reverse_links: tuple = ()
+        self.n_rev_links = 0
+        #: Delay of the reverse direction when it is a single
+        #: pure-propagation pseudo-link (``None`` when real reverse
+        #: links are wired): the engine's inline ack fast path.
+        self.pure_return_delay: float | None = None
         self.base_rtt = 0.0
         #: Propagation sum of the reverse links (no queueing).
         self.return_delay = 0.0
         self.max_rate = float("inf")
         #: Wire size of this flow's acknowledgements, bytes; the
-        #: engine overrides it from the path's ``ack_bytes`` when the
-        #: topology sets one.
+        #: engine overrides it from the path's ``ack_bytes`` via
+        #: :meth:`set_ack_bytes` when the topology sets one.
         self.ack_bytes = ACK_BYTES
-
+        #: Service demand of one ack relative to a data packet,
+        #: derived from ``ack_bytes`` (kept as a plain attribute -- it
+        #: is read once per reverse hop event; update it through
+        #: :meth:`set_ack_bytes`).
+        self.ack_size = ACK_BYTES / packet_bytes
         #: Delivered packets whose acknowledgement was buffer-dropped
         #: on the reverse path, keyed by sequence number.  Acknowledged
         #: (and removed) when a later cumulative ack reaches the
         #: sender, or surfaced as a retransmit-timeout loss if none
         #: does (see ``Simulation._handle_ack`` / ``"rto"`` events).
         self.pending_acks: dict[int, Packet] = {}
-        #: Latest scheduled arrival per (reversing, hop) under the
-        #: event-driven scheduler -- the monotonicity floor that keeps
+        #: Latest scheduled arrival per hop and direction under the
+        #: event-driven scheduler -- the monotonicity floors that keep
         #: this flow's dithered per-hop arrivals in FIFO order at every
-        #: link (see ``Simulation._dither_arrival``).
-        self.hop_arrival_floor: dict[tuple[bool, int], float] = {}
+        #: link (see ``Simulation._dither_arrival``).  Sized by
+        #: :meth:`init_hop_floors` once the engine assigns the path.
+        self.fwd_hop_floor: list[float] = []
+        self.rev_hop_floor: list[float] = []
 
         #: Time of the last accounting event (send/ack/loss).  The final
         #: monitor interval closes at this time when acks straggle in
@@ -234,22 +267,50 @@ class Flow:
         #: Online link-capacity estimate (max observed MI throughput, §4.1).
         self.max_throughput_seen: float = 0.0
 
-        # Current-MI accumulators.
+        # Current-MI accumulators.  RTT samples stream into flat C
+        # double arrays (time, rtt) instead of a list of tuples: one
+        # unboxing append per ack, and closing an MI reduces zero-copy
+        # ``np.frombuffer`` views of the same memory instead of
+        # rebuilding numpy arrays from Python lists.  The min is
+        # additionally tracked as a running scalar (order-independent,
+        # so exact); the mean and the latency-gradient regression
+        # deliberately stay numpy reductions over the buffer because
+        # pairwise summation rounds differently from a scalar running
+        # sum -- and MI statistics feed controller decisions, so the
+        # golden-trace bit-identity guarantee
+        # (tests/test_golden_traces.py) pins their floats.
         self.mi_start = start_time
         self.mi_sent = 0
         self.mi_acked = 0
         self.mi_lost = 0
-        self.mi_rtt_samples: list[tuple[float, float]] = []
+        self._mi_times = array("d")
+        self._mi_rtts = array("d")
+        self._mi_min_rtt = float("inf")
 
         # History.
         self.records: list[MonitorIntervalStats] = []
         self.packets: list[Packet] = []
         self._min_mean_rtt: float | None = None
 
+    def set_ack_bytes(self, ack_bytes: int) -> None:
+        """Set the ack wire size, keeping ``ack_size`` consistent."""
+        self.ack_bytes = ack_bytes
+        self.ack_size = ack_bytes / self.packet_bytes
+
+    def init_hop_floors(self) -> None:
+        """(Re)initialise the per-hop arrival floors for the assigned path."""
+        self.fwd_hop_floor = [0.0] * len(self.links)
+        self.rev_hop_floor = [0.0] * len(self.reverse_links)
+
     @property
-    def ack_size(self) -> float:
-        """Service demand of one ack relative to a data packet."""
-        return self.ack_bytes / self.packet_bytes
+    def mi_rtt_samples(self) -> list[tuple[float, float]]:
+        """Current-MI ``(ack_time, rtt)`` samples as a list (debug view).
+
+        The engine streams samples into flat buffers; this property
+        materialises them for tests and interactive inspection only --
+        do not use it on a hot path.
+        """
+        return list(zip(self._mi_times, self._mi_rtts))
 
     # --- accounting hooks (called by the engine) ---------------------------
 
@@ -257,39 +318,54 @@ class Flow:
         self.total_sent += 1
         self.mi_sent += 1
         self.inflight += 1
-        self.last_event_time = max(self.last_event_time, packet.send_time)
+        if packet.send_time > self.last_event_time:
+            self.last_event_time = packet.send_time
         if self.keep_packets:
             self.packets.append(packet)
 
     def note_ack(self, packet: Packet, now: float) -> None:
         self.total_acked += 1
         self.mi_acked += 1
-        self.inflight = max(0, self.inflight - 1)
-        self.last_event_time = max(self.last_event_time, now)
+        inflight = self.inflight - 1
+        self.inflight = inflight if inflight > 0 else 0
+        if now > self.last_event_time:
+            self.last_event_time = now
         rtt = now - packet.send_time
         self.last_rtt = rtt
-        self.srtt = rtt if self.srtt is None else 0.875 * self.srtt + 0.125 * rtt
-        if self.min_rtt_seen is None or rtt < self.min_rtt_seen:
+        srtt = self.srtt
+        self.srtt = rtt if srtt is None else 0.875 * srtt + 0.125 * rtt
+        min_seen = self.min_rtt_seen
+        if min_seen is None or rtt < min_seen:
             self.min_rtt_seen = rtt
-        self.mi_rtt_samples.append((now, rtt))
+        self._mi_times.append(now)
+        self._mi_rtts.append(rtt)
+        if rtt < self._mi_min_rtt:
+            self._mi_min_rtt = rtt
 
     def note_loss(self, packet: Packet, now: float) -> None:
         self.total_lost += 1
         self.mi_lost += 1
-        self.inflight = max(0, self.inflight - 1)
-        self.last_event_time = max(self.last_event_time, now)
+        inflight = self.inflight - 1
+        self.inflight = inflight if inflight > 0 else 0
+        if now > self.last_event_time:
+            self.last_event_time = now
 
     # --- monitor intervals ---------------------------------------------------
 
     def finish_mi(self, now: float, capacity_pps: float, base_rtt: float,
                   rate_pps: float) -> MonitorIntervalStats:
         """Close the current MI, appending and returning its statistics."""
-        samples = self.mi_rtt_samples
-        if samples:
-            rtts = np.array([s[1] for s in samples])
-            mean_rtt: float | None = float(rtts.mean())
-            min_rtt: float | None = float(rtts.min())
-            gradient = _rtt_slope(samples)
+        n = len(self._mi_rtts)
+        if n:
+            # Zero-copy float64 view of the streamed C array; then
+            # np.add.reduce is the exact pairwise kernel ndarray.mean
+            # wraps (umr_sum / count) minus the wrapper overhead, so
+            # the quotient is bit-identical.
+            rtts = np.frombuffer(self._mi_rtts)
+            mean_rtt: float | None = float(np.add.reduce(rtts) / n)
+            min_rtt: float | None = self._mi_min_rtt
+            gradient = (_rtt_slope_arrays(np.frombuffer(self._mi_times), rtts)
+                        if n > 1 else 0.0)
         else:
             mean_rtt = None
             min_rtt = None
@@ -311,7 +387,9 @@ class Flow:
         self.mi_sent = 0
         self.mi_acked = 0
         self.mi_lost = 0
-        self.mi_rtt_samples = []
+        self._mi_times = array("d")
+        self._mi_rtts = array("d")
+        self._mi_min_rtt = float("inf")
         return stats
 
     def latency_ratio(self, stats: MonitorIntervalStats) -> float:
@@ -350,14 +428,28 @@ class Flow:
         return self.total_lost / total
 
 
+def _rtt_slope_arrays(times: np.ndarray, rtts: np.ndarray) -> float:
+    """Least-squares slope of RTT vs. ack time over parallel arrays.
+
+    ``np.add.reduce(x) / n`` is ``x.mean()`` without the wrapper (same
+    pairwise kernel, bit-identical quotient).
+    """
+    n = times.shape[0]
+    t_center = times - np.add.reduce(times) / n
+    denom = float(np.dot(t_center, t_center))
+    if denom <= 1e-12:
+        return 0.0
+    return float(np.dot(t_center, rtts - np.add.reduce(rtts) / n) / denom)
+
+
 def _rtt_slope(samples: list[tuple[float, float]]) -> float:
-    """Least-squares slope of RTT vs. ack time (the latency gradient)."""
+    """Least-squares slope of RTT vs. ack time (the latency gradient).
+
+    List-of-tuples convenience wrapper around :func:`_rtt_slope_arrays`
+    (which is what the flow's streaming buffers feed directly).
+    """
     if len(samples) < 2:
         return 0.0
     times = np.array([s[0] for s in samples])
     rtts = np.array([s[1] for s in samples])
-    t_center = times - times.mean()
-    denom = float(np.dot(t_center, t_center))
-    if denom <= 1e-12:
-        return 0.0
-    return float(np.dot(t_center, rtts - rtts.mean()) / denom)
+    return _rtt_slope_arrays(times, rtts)

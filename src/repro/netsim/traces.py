@@ -52,6 +52,19 @@ class BandwidthTrace:
         """Instantaneous capacity at time ``t`` (seconds)."""
         raise NotImplementedError
 
+    def constant_rate(self) -> float | None:
+        """The trace's rate if it is constant for all time, else ``None``.
+
+        The engine's hot paths key off this: a non-``None`` rate lets
+        :class:`~repro.netsim.link.Link` cache the service rate per
+        offer and lets the simulation close monitor intervals without
+        sampling the trace at all (O(1) bottleneck capacity).  Only
+        :class:`ConstantTrace` itself answers -- and only when not
+        subclassed, so a subclass overriding ``bandwidth_at`` can never
+        be wrongly cached.
+        """
+        return None
+
     def max_bandwidth(self) -> float:
         """Upper bound on capacity (used for rate clamping)."""
         raise NotImplementedError
@@ -68,8 +81,11 @@ class BandwidthTrace:
         if t1 <= t0:
             return self.bandwidth_at(t0)
         width = (t1 - t0) / samples
-        times = t0 + (np.arange(samples) + 0.5) * width
-        return float(np.mean([self.bandwidth_at(float(t)) for t in times]))
+        at = self.bandwidth_at
+        values = [at(float(t))
+                  for t in (t0 + (np.arange(samples) + 0.5) * width)]
+        # Same pairwise kernel np.mean(list) wraps, minus the wrapper.
+        return float(np.add.reduce(np.asarray(values)) / samples)
 
 
 class ConstantTrace(BandwidthTrace):
@@ -82,6 +98,11 @@ class ConstantTrace(BandwidthTrace):
 
     def bandwidth_at(self, t: float) -> float:
         return self.pps
+
+    def constant_rate(self) -> float | None:
+        # Exact-type guard: a subclass may override bandwidth_at, and a
+        # cached rate would silently bypass it.
+        return self.pps if type(self) is ConstantTrace else None
 
     def max_bandwidth(self) -> float:
         return self.pps

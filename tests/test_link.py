@@ -1,11 +1,16 @@
-"""Tests for the bottleneck link model (repro.netsim.link)."""
+"""Tests for the bottleneck link model (repro.netsim.link).
+
+``transmit()`` returns the allocation-free outcome tuple
+``(delivered, drop_kind, depart_time, queue_delay)`` -- the PR 5
+hot-path contract.
+"""
 
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.netsim.link import Link, PropagationLink
-from repro.netsim.traces import ConstantTrace
+from repro.netsim.traces import ConstantTrace, StepTrace
 
 
 def make_link(pps=100.0, delay=0.01, queue=50, loss=0.0, seed=0):
@@ -16,22 +21,22 @@ def make_link(pps=100.0, delay=0.01, queue=50, loss=0.0, seed=0):
 class TestTransmit:
     def test_idle_link_delay(self):
         link = make_link(pps=100.0, delay=0.01)
-        result = link.transmit(0.0)
-        assert result.delivered
+        delivered, drop_kind, depart, queue_delay = link.transmit(0.0)
+        assert delivered and drop_kind is None
         # service (1/100) + propagation (0.01)
-        assert result.depart_time == pytest.approx(0.02)
-        assert result.queue_delay == 0.0
+        assert depart == pytest.approx(0.02)
+        assert queue_delay == 0.0
 
     def test_queueing_builds(self):
         link = make_link(pps=100.0, delay=0.0, queue=1000)
         first = link.transmit(0.0)
         second = link.transmit(0.0)
-        assert second.queue_delay == pytest.approx(0.01)
-        assert second.depart_time == pytest.approx(first.depart_time + 0.01)
+        assert second[3] == pytest.approx(0.01)          # queue_delay
+        assert second[2] == pytest.approx(first[2] + 0.01)  # depart_time
 
     def test_fifo_ordering(self):
         link = make_link(pps=50.0, delay=0.005, queue=1000)
-        departs = [link.transmit(0.0).depart_time for _ in range(10)]
+        departs = [link.transmit(0.0)[2] for _ in range(10)]
         assert departs == sorted(departs)
 
     def test_queue_drains_over_time(self):
@@ -45,29 +50,29 @@ class TestTransmit:
     def test_buffer_overflow_drops(self):
         link = make_link(pps=100.0, delay=0.0, queue=5)
         outcomes = [link.transmit(0.0) for _ in range(10)]
-        dropped = [r for r in outcomes if not r.delivered]
+        dropped = [r for r in outcomes if not r[0]]
         assert dropped, "expected drops beyond the 5-packet buffer"
-        assert all(r.drop_kind == "buffer" for r in dropped)
+        assert all(r[1] == "buffer" for r in dropped)
         assert link.dropped_buffer == len(dropped)
 
     def test_zero_queue_drops_when_busy(self):
         link = make_link(pps=100.0, delay=0.0, queue=0)
-        assert link.transmit(0.0).delivered
-        assert not link.transmit(0.0).delivered
+        assert link.transmit(0.0)[0]
+        assert not link.transmit(0.0)[0]
 
     def test_random_loss_statistics(self):
         link = make_link(pps=1e9, delay=0.0, queue=10**6, loss=0.3, seed=1)
         n = 5000
-        delivered = sum(link.transmit(i * 1e-6).delivered for i in range(n))
+        delivered = sum(link.transmit(i * 1e-6)[0] for i in range(n))
         assert delivered / n == pytest.approx(0.7, abs=0.03)
 
     def test_random_loss_keeps_timing(self):
         """Random drops happen on the wire: depart time is still computed."""
         link = make_link(pps=100.0, delay=0.01, queue=100, loss=0.999, seed=2)
-        result = link.transmit(0.0)
-        if not result.delivered:
-            assert result.drop_kind == "random"
-            assert result.depart_time > 0.0
+        delivered, drop_kind, depart, _ = link.transmit(0.0)
+        if not delivered:
+            assert drop_kind == "random"
+            assert depart > 0.0
 
     @settings(max_examples=20, deadline=None)
     @given(queue=st.integers(1, 30), n=st.integers(1, 100))
@@ -81,41 +86,67 @@ class TestTransmit:
 class TestSizedTransmit:
     def test_small_packet_takes_proportional_service(self):
         link = make_link(pps=100.0, delay=0.01)
-        result = link.transmit(0.0, size=0.5)
-        assert result.depart_time == pytest.approx(0.005 + 0.01)
+        assert link.transmit(0.0, size=0.5)[2] == pytest.approx(0.005 + 0.01)
         assert link.busy_until == pytest.approx(0.005)
 
     def test_default_size_unchanged(self):
         a, b = make_link(), make_link()
-        assert a.transmit(0.0).depart_time == b.transmit(0.0, size=1.0).depart_time
+        assert a.transmit(0.0)[2] == b.transmit(0.0, size=1.0)[2]
 
     def test_acks_fill_buffers_slowly(self):
         """40/1500-sized transmits occupy backlog at their true ratio:
         a queue that drops the 6th data packet holds ~190 acks."""
         data, acks = make_link(pps=100.0, delay=0.0, queue=5), \
             make_link(pps=100.0, delay=0.0, queue=5)
-        data_ok = sum(data.transmit(0.0).delivered for _ in range(200))
-        ack_ok = sum(acks.transmit(0.0, size=40 / 1500).delivered
+        data_ok = sum(data.transmit(0.0)[0] for _ in range(200))
+        ack_ok = sum(acks.transmit(0.0, size=40 / 1500)[0]
                      for _ in range(200))
         assert data_ok == 6  # queue 5 + the one in service
         assert ack_ok > 150
+
+
+class TestConstantRateFastPath:
+    def test_constant_trace_rate_is_cached(self):
+        link = make_link(pps=250.0)
+        assert link._const_rate == 250.0
+        assert link.bandwidth_at(0.0) == 250.0
+        assert link.bandwidth_at(123.0) == 250.0
+
+    def test_varying_trace_not_cached(self):
+        trace = StepTrace(100.0, 200.0, period=1.0)
+        link = Link(trace, delay=0.0, queue_size=10)
+        assert link._const_rate is None
+        assert link.bandwidth_at(0.0) == trace.bandwidth_at(0.0)
+        assert link.bandwidth_at(1.5) == trace.bandwidth_at(1.5)
+
+    def test_varying_trace_transmit_matches_trace_rate(self):
+        trace = StepTrace(100.0, 200.0, period=1.0)
+        link = Link(trace, delay=0.0, queue_size=10)
+        # First phase is high (200 pps): service = 1/200.
+        assert link.transmit(0.0)[2] == pytest.approx(1.0 / 200.0)
 
 
 class TestPropagationLink:
     def test_pure_propagation_timing(self):
         link = PropagationLink(0.03)
         for t in (0.0, 1.0, 0.5):  # stateless: order does not matter
-            result = link.transmit(t)
-            assert result.delivered
-            assert result.depart_time == pytest.approx(t + 0.03)
-            assert result.queue_delay == 0.0
+            delivered, drop_kind, depart, queue_delay = link.transmit(t)
+            assert delivered and drop_kind is None
+            assert depart == pytest.approx(t + 0.03)
+            assert queue_delay == 0.0
 
     def test_never_queues_or_drops(self):
         link = PropagationLink(0.01)
         for _ in range(100):
-            assert link.transmit(0.0).delivered
+            assert link.transmit(0.0)[0]
         assert link.queue_delay_at(0.0) == 0.0
         assert link.dropped_buffer == 0
+
+    def test_pure_delay_marker(self):
+        """The engine's zero-work fast path keys off ``pure_delay``:
+        set (to the delay) on the pseudo-link, None on real links."""
+        assert PropagationLink(0.02).pure_delay == pytest.approx(0.02)
+        assert make_link().pure_delay is None
 
 
 class TestAccounting:
