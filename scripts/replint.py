@@ -1,0 +1,16 @@
+#!/usr/bin/env python
+"""Convenience entry point for replint (works without installing repro).
+
+Same CLI as ``python -m repro.analysis``; typical pre-commit use::
+
+    python scripts/replint.py --changed-only
+"""
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.analysis.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""replint: determinism & cache-correctness static analysis.
+
+Everything this reproduction promises -- bit-identical golden traces,
+serial==parallel suite identity, and a fingerprint-keyed result cache
+whose staleness rules live in :meth:`repro.eval.scenarios.Scenario.
+fingerprint` -- rests on invariants that are easy to break silently:
+an unseeded RNG stream, a wall-clock read in the engine, a new
+dataclass field forgotten by its signature function, an ``EV_*`` event
+kind missing from the handler table.  This package turns those
+invariants into machine-checked rules:
+
+* :mod:`repro.analysis.core` -- the framework: :class:`Finding`,
+  :class:`Rule` (per-file AST rules and whole-project introspection
+  rules), the :class:`Analyzer` driver, inline ``# replint:
+  disable=RULE`` suppressions and the checked-in findings baseline;
+* :mod:`repro.analysis.rules_determinism` -- unseeded/global RNG,
+  wall-clock reads, unsorted directory walks, set-order iteration;
+* :mod:`repro.analysis.rules_fingerprint` -- every
+  ``Scenario``/``FlowDef``/``LinkDef``/``PathDef``/``TopologySpec``
+  dataclass field is consumed by its signature function or explicitly
+  excluded (a new field cannot silently alias cache entries);
+* :mod:`repro.analysis.rules_engine` -- the ``EV_*`` handler table,
+  heap-push tuple arity, ``__slots__`` discipline, 4-tuple
+  ``Link.transmit()`` unpacking;
+* :mod:`repro.analysis.rules_rng` -- RNG-stream discipline: simulation
+  classes receive their ``Generator`` via parameter instead of
+  constructing ad-hoc streams in hot paths.
+
+Run it with ``python -m repro.analysis`` (or ``scripts/replint.py``);
+the tier-1 test :mod:`tests.test_analysis` asserts zero findings on
+the repository with an empty baseline.
+"""
+
+from repro.analysis.core import (
+    Analyzer,
+    AstRule,
+    Baseline,
+    Finding,
+    ProjectRule,
+    Rule,
+)
+from repro.analysis.registry import all_rules, rules_by_id
+
+__all__ = ["Analyzer", "AstRule", "Baseline", "Finding", "ProjectRule",
+           "Rule", "all_rules", "rules_by_id"]

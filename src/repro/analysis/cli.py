@@ -1,0 +1,163 @@
+"""Command line for replint (``python -m repro.analysis``).
+
+Exit codes: 0 clean, 1 non-baselined findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis.core import Analyzer, Baseline, default_root
+from repro.analysis.registry import all_rules
+from repro.analysis.report import render_json, render_text
+
+__all__ = ["main"]
+
+BASELINE_NAME = ".replint-baseline.json"
+
+
+def _find_baseline(root: Path) -> Path | None:
+    """Nearest checked-in baseline: package root, src/, or repo root."""
+    for candidate in (root, root.parent, root.parent.parent):
+        path = candidate / BASELINE_NAME
+        if path.exists():
+            return path
+    return None
+
+
+def _changed_files(root: Path) -> list[Path] | None:
+    """Analyzable ``*.py`` files touched vs HEAD (worktree + index).
+
+    Returns ``None`` when git is unavailable -- the caller falls back
+    to a full scan rather than silently analyzing nothing.
+    """
+    repo = root.parent.parent  # <repo>/src/repro -> <repo>
+    names: set[str] = set()
+    for extra in ((), ("--cached",)):
+        proc = subprocess.run(
+            ["git", "diff", "--name-only", *extra, "HEAD"],
+            cwd=repo, capture_output=True, text=True)
+        if proc.returncode != 0:
+            return None
+        names.update(line.strip() for line in proc.stdout.splitlines()
+                     if line.strip())
+    files = []
+    for name in sorted(names):
+        path = (repo / name).resolve()
+        if path.suffix == ".py" and path.exists():
+            try:
+                path.relative_to(root)
+            except ValueError:
+                continue
+            files.append(path)
+    return files
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="replint",
+        description="determinism & cache-correctness lints for the "
+                    "repro package")
+    parser.add_argument("paths", nargs="*",
+                        help="specific files to analyze (default: the "
+                             "whole package)")
+    parser.add_argument("--root", default=None,
+                        help="package directory to analyze "
+                             "(default: the installed repro package)")
+    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--baseline", default=None,
+                        help=f"baseline file (default: nearest "
+                             f"{BASELINE_NAME})")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="report every finding, ignoring any baseline")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="accept current findings into the baseline "
+                             "file and exit 0")
+    parser.add_argument("--changed-only", action="store_true",
+                        help="analyze only files changed vs HEAD "
+                             "(git diff --name-only)")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule ids to run exclusively")
+    parser.add_argument("--ignore", default=None,
+                        help="comma-separated rule ids to skip")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="list rule ids and descriptions, then exit")
+    return parser
+
+
+def _pick_rules(select: str | None, ignore: str | None):
+    rules = all_rules()
+    known = {r.id for r in rules}
+    for flag, raw in (("--select", select), ("--ignore", ignore)):
+        if raw is None:
+            continue
+        ids = {r.strip() for r in raw.split(",") if r.strip()}
+        unknown = ids - known
+        if unknown:
+            raise SystemExit(
+                f"replint: {flag}: unknown rule id(s): "
+                f"{', '.join(sorted(unknown))} (see --list-rules)")
+        if flag == "--select":
+            rules = [r for r in rules if r.id in ids]
+        else:
+            rules = [r for r in rules if r.id not in ids]
+    return rules
+
+
+def main(argv=None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        rules = _pick_rules(args.select, args.ignore)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.id:24s} [{rule.family}] {rule.description}")
+        return 0
+
+    root = Path(args.root).resolve() if args.root else default_root()
+    analyzer = Analyzer(root=root, rules=rules)
+
+    files = None
+    if args.paths and args.changed_only:
+        print("replint: give explicit paths or --changed-only, not both",
+              file=sys.stderr)
+        return 2
+    if args.paths:
+        files = [Path(p).resolve() for p in args.paths]
+        missing = [p for p in files if not p.exists()]
+        if missing:
+            print(f"replint: no such file: "
+                  f"{', '.join(str(p) for p in missing)}", file=sys.stderr)
+            return 2
+    elif args.changed_only:
+        files = _changed_files(root)
+        if files is not None and not files:
+            print("no changed files to analyze")
+            return 0
+
+    findings = analyzer.analyze(files)
+    n_files = len(files) if files is not None else len(analyzer.iter_files())
+
+    baseline_path = Path(args.baseline) if args.baseline \
+        else _find_baseline(root)
+    if args.write_baseline:
+        target = baseline_path or root.parent.parent / BASELINE_NAME
+        Baseline.write(target, findings)
+        print(f"wrote {len(findings)} finding(s) to {target}")
+        return 0
+
+    n_baselined = 0
+    if baseline_path is not None and not args.no_baseline:
+        findings, n_baselined = Baseline.load(baseline_path).split(findings)
+
+    render = render_json if args.format == "json" else render_text
+    sys.stdout.write(render(findings, n_baselined, n_files))
+    return 1 if findings else 0

@@ -1,0 +1,49 @@
+"""The default replint rule set, in stable report order."""
+
+from __future__ import annotations
+
+from repro.analysis.rules_determinism import (
+    GlobalRandomRule,
+    SetIterationRule,
+    UnseededRngRule,
+    UnsortedWalkRule,
+    WallClockRule,
+)
+from repro.analysis.rules_engine import (
+    EventTableRule,
+    HeapPushRule,
+    SlotsAttrsRule,
+    TransmitUnpackRule,
+)
+from repro.analysis.rules_fingerprint import FingerprintCoverageRule
+from repro.analysis.rules_rng import AdhocRngRule
+
+__all__ = ["all_rules", "rules_by_id"]
+
+_RULE_CLASSES = (
+    # determinism
+    UnseededRngRule,
+    GlobalRandomRule,
+    WallClockRule,
+    UnsortedWalkRule,
+    SetIterationRule,
+    # fingerprint coverage
+    FingerprintCoverageRule,
+    # engine invariants
+    EventTableRule,
+    HeapPushRule,
+    SlotsAttrsRule,
+    TransmitUnpackRule,
+    # RNG-stream discipline
+    AdhocRngRule,
+)
+
+
+def all_rules() -> list:
+    """Fresh instances of every registered rule."""
+    return [cls() for cls in _RULE_CLASSES]
+
+
+def rules_by_id() -> dict:
+    """``{rule_id: rule_instance}`` for the default rule set."""
+    return {rule.id: rule for rule in all_rules()}

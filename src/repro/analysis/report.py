@@ -1,0 +1,44 @@
+"""Text and JSON reporters for replint findings."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.core import finding_to_dict
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(findings, n_baselined: int = 0, n_files: int | None = None
+                ) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [str(f) for f in findings]
+    if findings:
+        by_rule: dict[str, int] = {}
+        for f in findings:
+            by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+        breakdown = ", ".join(f"{rule}: {count}"
+                              for rule, count in sorted(by_rule.items()))
+        lines.append("")
+        lines.append(f"{len(findings)} finding(s) ({breakdown})")
+    else:
+        lines.append("no findings")
+    if n_baselined:
+        lines.append(f"{n_baselined} baselined finding(s) suppressed")
+    if n_files is not None:
+        lines.append(f"{n_files} file(s) analyzed")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(findings, n_baselined: int = 0, n_files: int | None = None
+                ) -> str:
+    """Machine-readable report (the CI artifact format)."""
+    payload = {
+        "findings": [finding_to_dict(f) for f in findings],
+        "summary": {
+            "total": len(findings),
+            "baselined": n_baselined,
+            "files": n_files,
+        },
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

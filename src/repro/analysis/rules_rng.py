@@ -1,0 +1,74 @@
+"""RNG-stream discipline: generators flow in, they are not minted mid-run.
+
+The serial==parallel identity and the per-flow seeding scheme both
+depend on a fixed set of named RNG streams created at construction
+time (``__init__``/``reset``/``build*``) from the scenario seed.  A
+``default_rng(...)`` call inside a per-step or per-ack method mints a
+fresh stream on every invocation: even when seeded, the seed is
+usually derived from loop state, which quietly couples the stream to
+execution order -- exactly the coupling the stream architecture
+removes.  Simulation classes must *receive* their
+:class:`numpy.random.Generator` (or derive it once at construction);
+hot paths only ever draw from it.
+
+Unseeded construction anywhere is the separate ``unseeded-rng``
+determinism rule; this rule is about *where* construction happens.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.core import AstRule, Finding, dotted_name
+from repro.analysis.rules_determinism import SIMULATION_PACKAGES
+
+__all__ = ["AdhocRngRule"]
+
+#: Method names where constructing an RNG stream is legitimate: object
+#: construction and explicit lifecycle resets.
+_ALLOWED_METHODS = ("__init__", "__post_init__", "reset")
+#: Name fragments marking factory methods (``build``, ``build_link``,
+#: ``make_trace`` ...), which construct fresh objects by design.
+_FACTORY_FRAGMENTS = ("build", "make")
+
+_CONSTRUCTORS = ("default_rng", "RandomState")
+
+
+def _is_allowed_method(name: str) -> bool:
+    return name in _ALLOWED_METHODS \
+        or any(fragment in name for fragment in _FACTORY_FRAGMENTS)
+
+
+class AdhocRngRule(AstRule):
+    id = "adhoc-rng"
+    family = "rng"
+    description = ("simulation classes receive their Generator via "
+                   "parameter; no RNG construction in hot-path methods "
+                   "(only __init__/__post_init__/reset/build*/make*)")
+    packages = SIMULATION_PACKAGES
+
+    def check(self, tree, source, relpath):
+        findings = []
+        for cls in ast.walk(tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            for fn in cls.body:
+                if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if _is_allowed_method(fn.name):
+                    continue
+                for node in ast.walk(fn):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    name = dotted_name(node.func)
+                    if name is None \
+                            or name.rsplit(".", 1)[-1] not in _CONSTRUCTORS:
+                        continue
+                    findings.append(Finding(
+                        relpath, node.lineno, node.col_offset, self.id,
+                        f"{name}(...) constructs an RNG stream inside "
+                        f"{cls.name}.{fn.name}(); hot paths must draw "
+                        f"from a Generator created at construction "
+                        f"(allowed contexts: "
+                        f"{', '.join(_ALLOWED_METHODS)}, build*/make*)"))
+        return findings

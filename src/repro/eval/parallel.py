@@ -147,7 +147,8 @@ class ResultCache:
             # touch early -- prune() re-measures exactly).
             if self._approx_bytes is None:
                 self._approx_bytes = sum(
-                    p.stat().st_size for p in self.cache_dir.glob("*.json"))
+                    p.stat().st_size
+                    for p in sorted(self.cache_dir.glob("*.json")))
             else:
                 self._approx_bytes += path.stat().st_size
             if self._approx_bytes > self.max_bytes:
@@ -165,7 +166,7 @@ class ResultCache:
             return 0
         entries = []
         total = 0
-        for path in self.cache_dir.glob("*.json"):
+        for path in sorted(self.cache_dir.glob("*.json")):
             try:
                 stat = path.stat()
             except OSError:
@@ -191,7 +192,7 @@ class ResultCache:
     def clear(self) -> int:
         """Delete all entries; returns how many were removed."""
         removed = 0
-        for path in self.cache_dir.glob("*.json"):
+        for path in sorted(self.cache_dir.glob("*.json")):
             path.unlink()
             removed += 1
         self._approx_bytes = 0
@@ -422,7 +423,9 @@ class ParallelRunner:
     def _warm_agents(self, scenarios: list[Scenario]) -> None:
         refs = {flow.agent for s in scenarios for flow in s.flows
                 if isinstance(flow.agent, AgentRef)}
-        for ref in refs:
+        # Sorted so every host trains/loads missing zoo entries in the
+        # same order (set order varies with hash randomization).
+        for ref in sorted(refs, key=AgentRef.key):
             ref.resolve()
 
     def run(self, suite) -> SuiteResult:

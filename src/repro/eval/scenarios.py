@@ -45,9 +45,10 @@ __all__ = ["AgentRef", "ChurnSchedule", "FlowDef", "Scenario", "ScenarioSuite",
            "build_scenario_simulation", "run_scenario", "simulate_scenario"]
 
 #: Bumped whenever scenario execution changes in a way that invalidates
-#: previously cached results.  v4: event-driven per-hop forward transit
-#: (plus per-path ack sizes and real ack loss on queued reverse paths).
-SCENARIO_CACHE_VERSION = "v4"
+#: previously cached results.  v5: the code digest now hashes sources
+#: by relative POSIX path with LF-normalized content, so fingerprints
+#: agree across hosts (v4: event-driven per-hop forward transit).
+SCENARIO_CACHE_VERSION = "v5"
 
 
 def _simulation_code_digest() -> str:
@@ -70,11 +71,31 @@ def _simulation_code_digest() -> str:
                Path(__file__).resolve().parent / "runner.py"]
     singles += [Path(repro.core.agent.__file__).parent.parent / "rl" / name
                 for name in ("policy.py", "nn.py", "distributions.py")]
-    files = sorted(p for root in roots for p in root.glob("*.py")) + singles
+    files = [p for root in roots for p in sorted(root.glob("*.py"))] + singles
+    package_root = Path(repro.netsim.__file__).resolve().parent.parent
+    return _digest_files(files, package_root)
+
+
+def _digest_files(files, root: Path) -> str:
+    """sha256 digest of ``files``, identical on every host.
+
+    Files are ordered and labelled by their POSIX-style path relative
+    to ``root`` -- never by filesystem enumeration order or bare
+    ``name`` (two ``__init__.py`` must not collide) -- and ``\\r\\n``
+    is normalized to ``\\n`` so a CRLF-translating checkout does not
+    masquerade as a behavioural change.
+    """
+    def key(path: Path) -> str:
+        path = path.resolve()
+        try:
+            return path.relative_to(root).as_posix()
+        except ValueError:
+            return path.as_posix()
+
     digest = hashlib.sha256()
-    for path in files:
-        digest.update(path.name.encode())
-        digest.update(path.read_bytes())
+    for path in sorted(files, key=key):
+        digest.update(key(path).encode())
+        digest.update(path.read_bytes().replace(b"\r\n", b"\n"))
     return digest.hexdigest()[:16]
 
 

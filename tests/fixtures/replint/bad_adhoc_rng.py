@@ -1,0 +1,11 @@
+"""Known-bad: RNG construction in a hot-path method (rule ``adhoc-rng``)."""
+import numpy as np
+
+
+class Controller:
+    def __init__(self, seed):
+        self.rng = np.random.default_rng(seed)  # ok: construction time
+
+    def on_ack(self, pkt):
+        jitter = np.random.default_rng(42)  # BAD: mints a stream per ack
+        return jitter.random()

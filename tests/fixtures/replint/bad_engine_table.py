@@ -1,0 +1,19 @@
+"""Known-bad: event table drift (rule ``event-handler-table``).
+
+Three declared kinds, a range of two, a two-entry handler table, and
+one kind no push site ever schedules.
+"""
+
+EV_A, EV_B, EV_C = range(2)  # BAD: 3 kinds unpacked from range(2)
+
+
+class Engine:
+    def __init__(self):
+        self._handlers = (self._a, self._b)  # BAD: 2 handlers for 3 kinds
+
+    def _a(self, ev):
+        self.push(EV_A)
+
+    def _b(self, ev):
+        self.push(EV_B)
+    # BAD: EV_C is never referenced by any push site

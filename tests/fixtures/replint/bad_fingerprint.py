@@ -1,0 +1,18 @@
+"""Known-bad: a dataclass field its signature forgets
+(rule ``fingerprint-coverage``).
+
+Loaded in isolation by the self-tests, then fed to
+``check_coverage``: ``gamma`` shapes results but never reaches
+``signature()`` and is not on an exclusion list.
+"""
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BadSpec:
+    alpha: float = 0.0
+    beta: float = 1.0
+    gamma: str = "fifo"  # BAD: behavioural, but missing from signature()
+
+    def signature(self):
+        return [self.alpha, self.beta]

@@ -1,0 +1,12 @@
+"""Known-bad: process-global RNG state (rule ``global-random``)."""
+import random
+
+import numpy as np
+
+
+def jitter():
+    random.seed(0)              # BAD: mutates the process-wide stream
+    a = random.random()         # BAD: reads the process-wide stream
+    b = np.random.rand()        # BAD: legacy numpy global stream
+    rng = np.random.default_rng(0)  # ok: seeded generator API
+    return a, b, rng.random()

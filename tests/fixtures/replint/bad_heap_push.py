@@ -1,0 +1,9 @@
+"""Known-bad: inconsistent heap entries (rule ``heap-push-arity``)."""
+from heapq import heappush
+
+
+def schedule(heap, t, seq, flow, pkt):
+    heappush(heap, (t, seq, 0, flow, pkt))       # BAD: literal event kind
+    heappush(heap, (t, seq))                     # BAD: arity differs
+    heappush(heap, (t, seq, EV_SEND, flow, pkt))  # noqa: F821
+    heappush(heap, (t, seq, EV_ACK, flow, pkt))   # noqa: F821

@@ -1,0 +1,11 @@
+"""Known-bad: iteration in set (hash) order (rule ``set-iteration``)."""
+
+
+def resolve(items):
+    refs = {item.ref for item in items}
+    for ref in refs:                # BAD: hash order
+        ref.resolve()
+    doubled = [r + r for r in {1, 2, 3}]  # BAD: hash order
+    for ref in sorted(refs):        # ok: deterministic order
+        ref.resolve()
+    return doubled

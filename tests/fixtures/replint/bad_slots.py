@@ -1,0 +1,17 @@
+"""Known-bad: undeclared ``__slots__`` attributes (rule ``slots-attrs``)."""
+
+
+class Token:
+    __slots__ = ("kind", "value")
+
+    def __init__(self, kind, value):
+        self.kind = kind
+        self.value = value
+
+    def bump(self):
+        self.count = 1  # BAD: not in __slots__ -> AttributeError at runtime
+
+
+def relabel(packet):
+    packet.retries = 3  # BAD: 'retries' is not a Packet slot
+    packet.hop = 0      # ok: declared Packet slot

@@ -1,0 +1,7 @@
+"""Known-bad: wrong-arity transmit() unpack (rule ``transmit-unpack``)."""
+
+
+def forward(link, t):
+    delivered, kind, depart = link.transmit(t)  # BAD: contract is a 4-tuple
+    delivered, kind, depart, q_delay = link.transmit(t)  # ok
+    return delivered, kind, depart, q_delay

@@ -1,0 +1,6 @@
+"""Known-bad: unseeded RNG construction (rule ``unseeded-rng``)."""
+import numpy as np
+
+
+def make_stream():
+    return np.random.default_rng()  # BAD: draws OS entropy

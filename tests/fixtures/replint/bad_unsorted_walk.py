@@ -1,0 +1,11 @@
+"""Known-bad: filesystem-order directory walks (rule ``unsorted-walk``)."""
+import os
+from pathlib import Path
+
+
+def scan(directory):
+    for name in os.listdir(directory):          # BAD: filesystem order
+        print(name)
+    files = list(Path(directory).glob("*.json"))  # BAD: filesystem order
+    ok = sorted(Path(directory).rglob("*.py"))    # ok: sorted wrapper
+    return files, ok

@@ -1,0 +1,10 @@
+"""Known-bad: wall-clock reads in simulation code (rule ``wall-clock``)."""
+import time
+from datetime import datetime
+
+
+def stamp():
+    started = time.time()           # BAD: host clock
+    label = datetime.now()          # BAD: host clock
+    elapsed = time.perf_counter()   # ok: wall-time measurement only
+    return started, label, elapsed

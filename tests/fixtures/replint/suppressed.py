@@ -1,0 +1,8 @@
+"""Self-test: an inline suppression silences a real finding."""
+import numpy as np
+
+
+def entropy_stream():
+    # Deliberately unseeded -- this fixture documents the suppression
+    # syntax; real code must justify every disable comment like this.
+    return np.random.default_rng()  # replint: disable=unseeded-rng

@@ -1,0 +1,318 @@
+"""replint self-tests: the repo is clean, and every rule fires.
+
+Three layers:
+
+* the tier-1 gate -- the full default rule set over the installed
+  ``repro`` package yields **zero** findings with the shipped (empty)
+  baseline;
+* fixture-backed rule tests -- each rule family fires on its minimal
+  known-bad example under ``tests/fixtures/replint/`` (parsed, never
+  imported);
+* mechanism tests -- suppressions, the baseline, ``--changed-only``
+  anchors, and the CLI's exit codes / JSON shape.
+"""
+
+import ast
+import importlib.util
+import json
+import os
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import Analyzer, Baseline, Finding, all_rules, rules_by_id
+from repro.analysis.core import parse_suppressions
+from repro.analysis.rules_engine import check_engine_source
+from repro.analysis.rules_fingerprint import (
+    CoverageSpec,
+    check_coverage,
+    consumed_attrs,
+    default_specs,
+)
+from repro.eval import scenarios
+
+FIXTURES = Path(__file__).parent / "fixtures" / "replint"
+REPO = Path(__file__).parent.parent
+SRC_ROOT = REPO / "src" / "repro"
+
+
+def run_rule(rule_id: str, fixture: str):
+    """Run one AST rule directly on a fixture file (bypasses scoping)."""
+    source = (FIXTURES / fixture).read_text()
+    rule = rules_by_id()[rule_id]
+    return rule.check(ast.parse(source), source, fixture)
+
+
+class TestRepoClean:
+    """The tier-1 gate: zero findings on the repo, empty baseline."""
+
+    def test_default_analysis_is_clean(self):
+        findings = Analyzer().analyze()
+        assert findings == [], "\n".join(str(f) for f in findings)
+
+    def test_shipped_baseline_is_empty(self):
+        baseline = Baseline.load(REPO / ".replint-baseline.json")
+        assert len(baseline) == 0
+
+    def test_real_engine_passes_event_table_check(self):
+        source = (SRC_ROOT / "netsim" / "network.py").read_text()
+        assert check_engine_source(source, "netsim/network.py") == []
+
+    def test_default_fingerprint_specs_are_clean(self):
+        for spec in default_specs():
+            assert check_coverage(spec) == [], spec.cls.__name__
+
+
+class TestDeterminismRules:
+    def test_unseeded_rng_fires(self):
+        findings = run_rule("unseeded-rng", "bad_unseeded_rng.py")
+        assert len(findings) == 1
+        assert "default_rng" in findings[0].message
+
+    def test_wall_clock_fires(self):
+        findings = run_rule("wall-clock", "bad_wall_clock.py")
+        assert [f.line for f in findings] == [7, 8]  # perf_counter not flagged
+
+    def test_global_random_fires(self):
+        findings = run_rule("global-random", "bad_global_random.py")
+        assert len(findings) == 3
+        names = " ".join(f.message for f in findings)
+        assert "random.seed" in names and "np.random.rand" in names
+
+    def test_unsorted_walk_fires_and_sorted_is_ok(self):
+        findings = run_rule("unsorted-walk", "bad_unsorted_walk.py")
+        assert len(findings) == 2
+        assert all(f.line != 10 for f in findings)  # the sorted() walk
+
+    def test_set_iteration_fires_and_sorted_is_ok(self):
+        findings = run_rule("set-iteration", "bad_set_iteration.py")
+        assert [f.line for f in findings] == [6, 8]
+
+    def test_set_names_do_not_leak_across_scopes(self):
+        source = (
+            "def a():\n"
+            "    items = {1, 2}\n"
+            "    return sorted(items)\n"
+            "def b(items):\n"
+            "    for x in items:\n"  # a list here; must not be flagged
+            "        print(x)\n"
+        )
+        rule = rules_by_id()["set-iteration"]
+        assert rule.check(ast.parse(source), source, "x.py") == []
+
+
+class TestEngineRules:
+    def test_event_table_fixture_yields_all_three_defects(self):
+        source = (FIXTURES / "bad_engine_table.py").read_text()
+        findings = check_engine_source(source, "bad_engine_table.py")
+        messages = " | ".join(f.message for f in findings)
+        assert len(findings) == 3
+        assert "range(2)" in messages
+        assert "2 handlers" in messages
+        assert "EV_C" in messages
+
+    def test_heap_push_fires(self):
+        findings = run_rule("heap-push-arity", "bad_heap_push.py")
+        assert len(findings) == 2
+        messages = " | ".join(f.message for f in findings)
+        assert "literal 0" in messages and "2-tuple" in messages
+
+    def test_slots_fires_on_undeclared_self_and_packet_attrs(self):
+        findings = run_rule("slots-attrs", "bad_slots.py")
+        messages = " | ".join(f.message for f in findings)
+        assert len(findings) == 2
+        assert "Token.count" in messages
+        assert "packet.retries" in messages  # packet.hop is a real slot
+
+    def test_transmit_unpack_fires(self):
+        findings = run_rule("transmit-unpack", "bad_transmit_unpack.py")
+        assert [f.line for f in findings] == [5]
+        assert "4-tuple" in findings[0].message
+
+
+class TestRngRule:
+    def test_adhoc_rng_fires_in_hot_path_not_init(self):
+        findings = run_rule("adhoc-rng", "bad_adhoc_rng.py")
+        assert len(findings) == 1
+        assert "Controller.on_ack" in findings[0].message
+
+
+class TestFingerprintCoverage:
+    def test_fixture_dataclass_uncovered_field_is_flagged(self):
+        spec_obj = importlib.util.spec_from_file_location(
+            "replint_bad_fingerprint", FIXTURES / "bad_fingerprint.py")
+        module = importlib.util.module_from_spec(spec_obj)
+        spec_obj.loader.exec_module(module)
+        spec = CoverageSpec(cls=module.BadSpec,
+                            consumer=module.BadSpec.signature,
+                            relpath="bad_fingerprint.py")
+        findings = check_coverage(spec)
+        assert len(findings) == 1
+        assert "BadSpec.gamma" in findings[0].message
+
+    def test_scenario_subclass_with_new_behavioural_field_is_flagged(self):
+        """The drift regression the rule exists for: a new Scenario
+        field that fingerprint() does not consume must be caught."""
+        @dataclass(frozen=True)
+        class AqmScenario(scenarios.Scenario):
+            aqm: str = "fifo"  # behavioural, but unknown to fingerprint()
+
+        spec = CoverageSpec(cls=AqmScenario,
+                            consumer=scenarios.Scenario.fingerprint,
+                            relpath="eval/scenarios.py",
+                            exclusions=(("name", "label"), ("suite", "label"),
+                                        ("lineup", "label"),
+                                        ("churn", "rewritten onto flows")))
+        findings = check_coverage(spec)
+        assert len(findings) == 1
+        assert "aqm" in findings[0].message
+
+    def test_stale_exclusion_entry_is_flagged(self):
+        spec = CoverageSpec(cls=scenarios.FlowDef,
+                            consumer=scenarios.FlowDef.signature,
+                            relpath="eval/scenarios.py",
+                            exclusions=(("label", "display"),
+                                        ("ghost_field", "does not exist")))
+        findings = check_coverage(spec)
+        assert len(findings) == 1
+        assert "ghost_field" in findings[0].message
+
+    def test_consumed_attrs_sees_any_receiver(self):
+        attrs = consumed_attrs(scenarios._topology_signature)
+        assert {"links", "paths", "default_path", "bandwidth_mbps",
+                "ack_bytes"} <= attrs
+
+
+class TestSuppressionsAndBaseline:
+    def test_inline_suppression_silences_finding(self):
+        rule = rules_by_id()["unseeded-rng"]
+        rule.packages = ()  # fixtures live outside the scoped packages
+        analyzer = Analyzer(root=FIXTURES, rules=[rule])
+        # the same defect fires without the disable comment...
+        assert analyzer.analyze([FIXTURES / "bad_unseeded_rng.py"])
+        # ...and is silenced by it
+        assert analyzer.analyze([FIXTURES / "suppressed.py"]) == []
+
+    def test_parse_suppressions_shapes(self):
+        per_line, file_wide = parse_suppressions(
+            "x = 1  # replint: disable=unseeded-rng,wall-clock\n"
+            "# replint: disable-file=set-iteration\n"
+            "y = 2  # replint: disable=all\n")
+        assert per_line[1] == {"unseeded-rng", "wall-clock"}
+        assert per_line[3] == {"all"}
+        assert file_wide == {"set-iteration"}
+
+    def test_baseline_roundtrip_and_split(self, tmp_path):
+        f1 = Finding("a.py", 3, 0, "unseeded-rng", "msg one")
+        f2 = Finding("b.py", 9, 4, "wall-clock", "msg two")
+        path = tmp_path / "baseline.json"
+        Baseline.write(path, [f1])
+        kept, n_baselined = Baseline.load(path).split([f1, f2])
+        assert kept == [f2] and n_baselined == 1
+        # drifted line number, same (rule, path, message): still accepted
+        moved = Finding("a.py", 99, 7, "unseeded-rng", "msg one")
+        kept, n_baselined = Baseline.load(path).split([moved])
+        assert kept == [] and n_baselined == 1
+
+    def test_syntax_error_becomes_parse_error_finding(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def f(:\n")
+        analyzer = Analyzer(root=tmp_path, rules=all_rules())
+        findings = analyzer.analyze()
+        assert [f.rule for f in findings] == ["parse-error"]
+
+
+class TestAnalyzerScoping:
+    def test_package_scoped_rule_skips_other_packages(self):
+        rule = rules_by_id()["unseeded-rng"]
+        assert rule.applies_to("netsim/link.py")
+        assert rule.applies_to("eval/parallel.py")
+        assert not rule.applies_to("rl/policy.py")
+
+    def test_explicit_file_list_skips_unanchored_project_rules(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        other = pkg / "other.py"
+        other.write_text("x = 1\n")
+        analyzer = Analyzer(root=pkg, rules=all_rules())
+        # fingerprint/event-table project rules are anchored on files
+        # not in this list, so analyzing it must not import/introspect
+        assert analyzer.analyze([other]) == []
+
+
+def _run_cli(*args, cwd=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *args],
+        capture_output=True, text=True, cwd=cwd or REPO, env=env)
+
+
+class TestCli:
+    def test_repo_run_is_clean_json(self):
+        proc = _run_cli("--format=json")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["findings"] == []
+        assert payload["summary"]["total"] == 0
+
+    def test_findings_fail_with_exit_one(self):
+        # transmit-unpack applies to every package, so it fires even
+        # though the fixture tree is outside netsim/baselines/eval
+        proc = _run_cli("--format=json", "--no-baseline",
+                        str(FIXTURES / "bad_transmit_unpack.py"),
+                        "--root", str(FIXTURES))
+        assert proc.returncode == 1
+        payload = json.loads(proc.stdout)
+        assert payload["summary"]["total"] == 1
+        assert payload["findings"][0]["rule"] == "transmit-unpack"
+
+    def test_list_rules_covers_every_family(self):
+        proc = _run_cli("--list-rules")
+        assert proc.returncode == 0
+        for family in ("determinism", "fingerprint", "engine", "rng"):
+            assert f"[{family}]" in proc.stdout
+
+    def test_unknown_select_is_usage_error(self):
+        proc = _run_cli("--select", "no-such-rule")
+        assert proc.returncode == 2
+        assert "no-such-rule" in proc.stderr
+
+    def test_script_entry_point_runs(self):
+        proc = subprocess.run(
+            [sys.executable, str(REPO / "scripts" / "replint.py"),
+             "--list-rules"],
+            capture_output=True, text=True, cwd=REPO)
+        assert proc.returncode == 0
+        assert "unseeded-rng" in proc.stdout
+
+    def test_changed_only_smoke(self):
+        proc = _run_cli("--changed-only")
+        # Exit 0 both when the worktree is clean ("no changed files")
+        # and when changed files carry no findings.
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+class TestFixturesStayBad:
+    """Guard the fixtures themselves: every bad_* file must keep
+    producing at least one finding for its rule (a fixture silently
+    going clean would turn its rule test meaningless)."""
+
+    CASES = [
+        ("unseeded-rng", "bad_unseeded_rng.py"),
+        ("wall-clock", "bad_wall_clock.py"),
+        ("global-random", "bad_global_random.py"),
+        ("unsorted-walk", "bad_unsorted_walk.py"),
+        ("set-iteration", "bad_set_iteration.py"),
+        ("heap-push-arity", "bad_heap_push.py"),
+        ("slots-attrs", "bad_slots.py"),
+        ("transmit-unpack", "bad_transmit_unpack.py"),
+        ("adhoc-rng", "bad_adhoc_rng.py"),
+    ]
+
+    @pytest.mark.parametrize("rule_id,fixture", CASES)
+    def test_fixture_fires(self, rule_id, fixture):
+        assert run_rule(rule_id, fixture), f"{fixture} no longer trips {rule_id}"

@@ -8,6 +8,8 @@ from repro.config import DEFAULT_TRAINING
 from repro.eval.runner import EvalNetwork, run_competition, run_scheme, scheme_factory
 from repro.eval.scenarios import (
     AgentRef,
+    _digest_files,
+    _simulation_code_digest,
     ChurnSchedule,
     FlowDef,
     Scenario,
@@ -490,3 +492,53 @@ class TestReversePathsAxis:
         rtt_wired = run_scenario(wired)[0].mean_rtt
         rtt_twin = run_scenario(twin)[0].mean_rtt
         assert rtt_wired > 1.3 * rtt_twin
+
+
+class TestCodeDigest:
+    """The code digest must agree across hosts: platform-independent
+    file order, path-relative labels, LF-normalized content."""
+
+    @staticmethod
+    def _tree(tmp_path, files):
+        root = tmp_path / "pkg"
+        root.mkdir(parents=True, exist_ok=True)
+        paths = []
+        for name, content in files:
+            path = root / name
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_bytes(content)
+            paths.append(path)
+        return root, paths
+
+    def test_order_independent(self, tmp_path):
+        root, paths = self._tree(tmp_path, [("a.py", b"a = 1\n"),
+                                            ("b.py", b"b = 2\n")])
+        assert _digest_files(paths, root) == _digest_files(paths[::-1], root)
+
+    def test_crlf_checkout_hashes_identically(self, tmp_path):
+        root, (path,) = self._tree(tmp_path, [("a.py", b"x = 1\ny = 2\n")])
+        lf = _digest_files([path], root)
+        path.write_bytes(b"x = 1\r\ny = 2\r\n")
+        assert _digest_files([path], root) == lf
+
+    def test_sensitive_to_content_and_relative_path(self, tmp_path):
+        root, (path,) = self._tree(tmp_path, [("a.py", b"x = 1\n")])
+        base = _digest_files([path], root)
+        path.write_bytes(b"x = 2\n")
+        assert _digest_files([path], root) != base
+        # same bytes under a different relative path is a different tree
+        path.write_bytes(b"x = 1\n")
+        root2, (path2,) = self._tree(tmp_path, [("sub/a.py", b"x = 1\n")])
+        assert _digest_files([path2], root2) != base
+
+    def test_same_basename_in_two_dirs_does_not_collide(self, tmp_path):
+        root, paths = self._tree(tmp_path, [("one/__init__.py", b"v = 1\n"),
+                                            ("two/__init__.py", b"v = 2\n")])
+        swapped, others = self._tree(tmp_path / "swap",
+                                     [("one/__init__.py", b"v = 2\n"),
+                                      ("two/__init__.py", b"v = 1\n")])
+        assert _digest_files(paths, root) != _digest_files(others, swapped)
+
+    def test_live_digest_is_stable_and_short(self):
+        assert _simulation_code_digest() == _simulation_code_digest()
+        assert len(_simulation_code_digest()) == 16
