@@ -24,11 +24,22 @@ invariants into machine-checked rules:
   ``Link.transmit()`` unpacking;
 * :mod:`repro.analysis.rules_rng` -- RNG-stream discipline: simulation
   classes receive their ``Generator`` via parameter instead of
-  constructing ad-hoc streams in hot paths.
+  constructing ad-hoc streams in hot paths;
+* :mod:`repro.analysis.project` -- the whole-program layer: project
+  symbol table + call graph (import resolution incl. function-level
+  imports, class/method indexing, caller/callee closures);
+* :mod:`repro.analysis.rules_dataflow` -- the cross-module rules built
+  on it: RNG-stream ownership against the
+  :mod:`repro.netsim.rngstreams` registry (undeclared constructions,
+  foreign draws, shared drains, colliding seed derivations), env-taint
+  (``os.environ`` reads reaching execution or cached rows must be
+  fingerprinted or justified-allowlisted), mutable global state in
+  simulation packages, and fingerprint/signature purity.
 
 Run it with ``python -m repro.analysis`` (or ``scripts/replint.py``);
-the tier-1 test :mod:`tests.test_analysis` asserts zero findings on
-the repository with an empty baseline.
+``--format=sarif`` emits SARIF 2.1.0 for GitHub code scanning.  The
+tier-1 test :mod:`tests.test_analysis` asserts zero findings on the
+repository with an empty baseline.
 """
 
 from repro.analysis.core import (
@@ -39,7 +50,8 @@ from repro.analysis.core import (
     ProjectRule,
     Rule,
 )
+from repro.analysis.project import ProjectIndex
 from repro.analysis.registry import all_rules, rules_by_id
 
-__all__ = ["Analyzer", "AstRule", "Baseline", "Finding", "ProjectRule",
-           "Rule", "all_rules", "rules_by_id"]
+__all__ = ["Analyzer", "AstRule", "Baseline", "Finding", "ProjectIndex",
+           "ProjectRule", "Rule", "all_rules", "rules_by_id"]

@@ -12,7 +12,7 @@ from pathlib import Path
 
 from repro.analysis.core import Analyzer, Baseline, default_root
 from repro.analysis.registry import all_rules
-from repro.analysis.report import render_json, render_text
+from repro.analysis.report import render_json, render_sarif, render_text
 
 __all__ = ["main"]
 
@@ -29,17 +29,26 @@ def _find_baseline(root: Path) -> Path | None:
 
 
 def _changed_files(root: Path) -> list[Path] | None:
-    """Analyzable ``*.py`` files touched vs HEAD (worktree + index).
+    """Analyzable ``*.py`` files touched vs HEAD (worktree + index +
+    untracked).
+
+    Untracked files matter: a freshly added module is invisible to
+    ``git diff HEAD`` until staged, which would let ``--changed-only``
+    skip exactly the file most likely to carry new findings.
 
     Returns ``None`` when git is unavailable -- the caller falls back
     to a full scan rather than silently analyzing nothing.
     """
     repo = root.parent.parent  # <repo>/src/repro -> <repo>
     names: set[str] = set()
-    for extra in ((), ("--cached",)):
-        proc = subprocess.run(
-            ["git", "diff", "--name-only", *extra, "HEAD"],
-            cwd=repo, capture_output=True, text=True)
+    commands = (
+        ["git", "diff", "--name-only", "HEAD"],
+        ["git", "diff", "--name-only", "--cached", "HEAD"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    )
+    for command in commands:
+        proc = subprocess.run(command, cwd=repo, capture_output=True,
+                              text=True)
         if proc.returncode != 0:
             return None
         names.update(line.strip() for line in proc.stdout.splitlines()
@@ -67,7 +76,8 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--root", default=None,
                         help="package directory to analyze "
                              "(default: the installed repro package)")
-    parser.add_argument("--format", choices=("text", "json"), default="text")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text")
     parser.add_argument("--baseline", default=None,
                         help=f"baseline file (default: nearest "
                              f"{BASELINE_NAME})")
@@ -118,8 +128,13 @@ def main(argv=None) -> int:
         return 2
 
     if args.list_rules:
+        by_family: dict[str, list] = {}
         for rule in rules:
-            print(f"{rule.id:24s} [{rule.family}] {rule.description}")
+            by_family.setdefault(rule.family, []).append(rule)
+        for family in sorted(by_family):
+            print(f"{family}:")
+            for rule in by_family[family]:
+                print(f"  {rule.id:24s} {rule.description}")
         return 0
 
     root = Path(args.root).resolve() if args.root else default_root()
@@ -158,6 +173,15 @@ def main(argv=None) -> int:
     if baseline_path is not None and not args.no_baseline:
         findings, n_baselined = Baseline.load(baseline_path).split(findings)
 
-    render = render_json if args.format == "json" else render_text
-    sys.stdout.write(render(findings, n_baselined, n_files))
+    if args.format == "sarif":
+        # Rebase finding paths (package-relative) onto repo-relative
+        # URIs so code-scanning annotations land on the right files.
+        try:
+            uri_prefix = root.relative_to(root.parent.parent).as_posix()
+        except ValueError:
+            uri_prefix = ""
+        sys.stdout.write(render_sarif(findings, rules, uri_prefix))
+    else:
+        render = render_json if args.format == "json" else render_text
+        sys.stdout.write(render(findings, n_baselined, n_files))
     return 1 if findings else 0

@@ -86,11 +86,22 @@ class ProjectRule(Rule):
     """A whole-project check (may import and introspect live objects)."""
 
     #: Files (relative to the root) whose change triggers this rule in
-    #: ``--changed-only`` mode.
+    #: ``--changed-only`` mode.  An entry ending in ``/`` is a prefix:
+    #: any changed file under that directory triggers the rule.
     anchors: tuple = ()
 
     def check_project(self, root: Path) -> list:
         raise NotImplementedError
+
+    def anchored_by(self, relpaths) -> bool:
+        """Is any of ``relpaths`` an anchor hit for this rule?"""
+        for anchor in self.anchors:
+            if anchor.endswith("/"):
+                if any(r.startswith(anchor) for r in relpaths):
+                    return True
+            elif anchor in relpaths:
+                return True
+        return False
 
 
 def dotted_name(node: ast.AST) -> str | None:
@@ -254,7 +265,7 @@ class Analyzer:
 
         relpaths = {self.relpath(p) for p in paths}
         for rule in project_rules:
-            if explicit and not (set(rule.anchors) & relpaths):
+            if explicit and not rule.anchored_by(relpaths):
                 continue
             for finding in rule.check_project(self.root):
                 per_line, file_wide = self._suppressions_for(

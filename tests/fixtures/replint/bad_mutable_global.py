@@ -1,0 +1,19 @@
+"""mutable-global-state: module containers written from functions."""
+
+_CACHE: dict = {}
+_SEEN = []
+_FROZEN = ("a", "b")  # immutable: never tracked
+
+
+def remember(key, value):
+    _CACHE[key] = value
+
+
+def mark(item):
+    _SEEN.append(item)
+
+
+def local_shadow():
+    _CACHE = {}          # rebinding a local of the same name
+    _CACHE["x"] = 1      # writes the local: no finding
+    return _CACHE

@@ -1,0 +1,7 @@
+"""Fixture: sensitive module pulling a tainted value in."""
+
+from proj_env_bad.models.store import cache_dir
+
+
+def build():
+    return cache_dir()

@@ -1,0 +1,8 @@
+"""Fixture: env read in a neutral module, reached from eval."""
+
+import os
+
+
+def cache_dir():
+    # tainted only because eval.scenarios (sensitive) calls this
+    return os.environ.get("PROJ_CACHE_DIR")

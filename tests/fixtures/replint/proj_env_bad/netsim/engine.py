@@ -1,0 +1,13 @@
+"""Fixture: env reads inside a sensitive (simulation) module."""
+
+import os
+
+
+def speed_hack():
+    # tainted: read in a netsim module, not allowlisted
+    return os.environ.get("SIM_SPEED_HACK")
+
+
+def lookup(key):
+    # tainted and unverifiable: the variable name is dynamic
+    return os.getenv(key)

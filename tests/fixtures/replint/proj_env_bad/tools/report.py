@@ -1,0 +1,7 @@
+"""Fixture: env read with no path into simulation -- must stay clean."""
+
+import os
+
+
+def use_color():
+    return os.environ.get("REPORT_COLOR") == "1"

@@ -1,0 +1,20 @@
+"""Fixture consumers: construction-site defects."""
+
+import numpy as np
+
+from proj_rng_bad.netsim.rngstreams import stream_rng
+
+
+def build(seed, dynamic_name):
+    rogue = np.random.default_rng(seed)        # undeclared construction
+    streams = [
+        stream_rng("a.raw", seed),
+        stream_rng("b.raw", seed),
+        stream_rng("c.affine", seed),
+        stream_rng("d.raw", seed),
+        stream_rng("e.salted", seed),
+        stream_rng("f.indexed", seed, index=0),
+    ]
+    ghost = stream_rng("z.undeclared", seed)   # not in the registry
+    dyn = stream_rng(dynamic_name, seed)       # unverifiable name
+    return rogue, streams, ghost, dyn

@@ -1,0 +1,32 @@
+"""Fixture registry: every declaration-level defect in one table."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StreamDef:
+    name: str
+    owner: str = ""
+    domain: str = ""
+    derive: str = "raw"
+    salt: int | None = None
+    mul: int | None = None
+    add: int | None = None
+    collision_note: str | None = None
+    reason: str = ""
+
+
+STREAMS = (
+    StreamDef(name="a.raw", domain="sim", derive="raw"),
+    # raw/raw in one domain: identical bitstreams for every seed
+    StreamDef(name="b.raw", domain="sim", derive="raw"),
+    StreamDef(name="c.affine", domain="env", derive="affine", mul=3, add=1),
+    # int-valued overlap with c.affine, neither carries a collision_note
+    StreamDef(name="d.raw", domain="env", derive="raw"),
+    # salt below the index floor while f.indexed shares the domain
+    StreamDef(name="e.salted", domain="sim", derive="salted", salt=7),
+    StreamDef(name="f.indexed", domain="sim", derive="indexed"),
+    # never minted anywhere + a collision_note with no possible partner
+    StreamDef(name="g.stale", domain="lonely", derive="raw",
+              collision_note="justifies nothing"),
+)

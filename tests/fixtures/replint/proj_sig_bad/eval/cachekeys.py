@@ -1,0 +1,20 @@
+"""Fixture: impure fingerprint/signature functions."""
+
+import os
+
+
+def _helper_digest(payload):
+    print("digesting", payload)   # write I/O in a direct callee
+    return repr(payload)
+
+
+class Spec:
+    def fingerprint(self):
+        self._memo = "x"                        # attribute store
+        salt = os.environ.get("SPEC_SALT")      # env read
+        return _helper_digest((salt, self._memo))
+
+
+def _topology_signature(spec, registry):
+    registry[spec] = True                       # stores into a parameter
+    return str(spec)

@@ -23,8 +23,12 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis import Analyzer, Baseline, Finding, all_rules, rules_by_id
+from repro.analysis import (Analyzer, Baseline, Finding, ProjectIndex,
+                            all_rules, rules_by_id)
 from repro.analysis.core import parse_suppressions
+from repro.analysis.rules_dataflow import (ENV_ALLOWLIST, EnvTaintRule,
+                                           RngStreamOwnershipRule,
+                                           SignaturePurityRule)
 from repro.analysis.rules_engine import check_engine_source
 from repro.analysis.rules_fingerprint import (
     CoverageSpec,
@@ -186,6 +190,116 @@ class TestFingerprintCoverage:
                 "ack_bytes"} <= attrs
 
 
+class TestProjectIndex:
+    """The whole-program layer resolves the chains the dataflow rules
+    depend on -- checked against the live package."""
+
+    @pytest.fixture(scope="class")
+    def index(self):
+        return ProjectIndex(SRC_ROOT)
+
+    def test_function_level_import_resolves(self, index):
+        # AgentRef.resolve imports default_zoo *inside* the method; the
+        # env-taint chain for REPRO_MODEL_CACHE depends on this edge.
+        callers = index.transitive_callers("models.zoo:_default_cache_dir")
+        assert "eval.scenarios:AgentRef.resolve" in callers
+        assert "models.zoo:ModelZoo.__init__" in callers
+
+    def test_class_constructor_edge(self, index):
+        # default_zoo() calls ModelZoo(...) -> __init__
+        assert "models.zoo:ModelZoo.__init__" in \
+            index.callees["models.zoo:default_zoo"]
+
+    def test_self_method_edge(self, index):
+        callees = index.callees["eval.scenarios:Scenario.fingerprint"]
+        assert "eval.scenarios:_code_digest" in callees
+
+    def test_cross_module_function_edge(self, index):
+        # fingerprint() -> make_trace() lives two packages away
+        assert "netsim.traces:make_trace" in \
+            index.callees["eval.scenarios:Scenario.fingerprint"]
+
+    def test_enclosing_function_lookup(self, index):
+        fn = index.functions["netsim.link:Link.transmit"]
+        mid = (fn.node.lineno + fn.node.end_lineno) // 2
+        found = index.enclosing_function("netsim/link.py", mid)
+        assert found is not None
+        assert found.qualname == "netsim.link:Link.transmit"
+
+
+class TestDataflowRules:
+    """Each new rule family fires on its known-bad fixture."""
+
+    def test_foreign_draw_fires(self):
+        findings = run_rule("rng-foreign-draw", "bad_foreign_draw.py")
+        assert len(findings) == 2
+        messages = " | ".join(f.message for f in findings)
+        assert "link.rng.random" in messages
+        assert "self.link.rng.uniform" in messages
+
+    def test_shared_drain_fires_and_single_owner_is_clean(self):
+        findings = run_rule("rng-shared-drain", "bad_shared_drain.py")
+        assert len(findings) == 2
+        messages = " | ".join(sorted(f.message for f in findings))
+        assert "passed to 2 consumers" in messages
+        assert "also drawn from locally" in messages
+        # fine_single_consumer (line 19) must not be flagged
+        assert all(f.line < 19 for f in findings)
+
+    def test_mutable_global_fires_and_shadow_is_clean(self):
+        findings = run_rule("mutable-global-state", "bad_mutable_global.py")
+        assert len(findings) == 2
+        messages = " | ".join(f.message for f in findings)
+        assert "_CACHE" in messages and "_SEEN" in messages
+        assert "local_shadow" not in messages
+
+    def test_stream_ownership_fires_on_every_declaration_defect(self):
+        findings = RngStreamOwnershipRule().check_project(
+            FIXTURES / "proj_rng_bad")
+        messages = " | ".join(f.message for f in findings)
+        assert "np.random.default_rng(...) constructs an undeclared" \
+            in messages
+        assert "'z.undeclared'" in messages
+        assert "non-literal stream name" in messages
+        assert "both derive raw seeds" in messages            # a.raw/b.raw
+        assert "can overlap in domain 'env'" in messages      # c.affine/d.raw
+        assert "below 0x10000" in messages                    # e.salted salt
+        assert "never minted" in messages                     # g.stale
+        assert "remove the stale note" in messages            # g.stale's note
+
+    def test_env_taint_follows_the_call_chain(self):
+        findings = EnvTaintRule().check_project(FIXTURES / "proj_env_bad")
+        messages = " | ".join(f.message for f in findings)
+        # read in a sensitive module
+        assert "'SIM_SPEED_HACK'" in messages
+        # read in a neutral module reached from eval.scenarios
+        assert "'PROJ_CACHE_DIR' (in models.store:cache_dir)" in messages
+        # dynamic variable name
+        assert "non-literal variable name" in messages
+        # no path into simulation: must stay clean
+        assert "REPORT_COLOR" not in messages
+
+    def test_stale_env_allowlist_entries_are_findings(self):
+        # The fixture tree reads none of the allowlisted variables, so
+        # every entry must be reported stale -- the same mechanism that
+        # keeps the real allowlist honest.
+        findings = EnvTaintRule().check_project(FIXTURES / "proj_env_bad")
+        stale = {f.message.split("'")[1] for f in findings
+                 if "stale ENV_ALLOWLIST" in f.message}
+        assert stale == set(ENV_ALLOWLIST)
+
+    def test_signature_purity_fires_incl_one_level_callees(self):
+        findings = SignaturePurityRule().check_project(
+            FIXTURES / "proj_sig_bad")
+        messages = " | ".join(f.message for f in findings)
+        assert "stores into 'self'" in messages
+        assert "reads the environment" in messages
+        assert "stores into parameter 'registry'" in messages
+        # the defect lives in the callee, attributed to the caller
+        assert "_helper_digest() performs write I/O via print(), and " \
+               "Spec.fingerprint() calls it" in messages
+
+
 class TestSuppressionsAndBaseline:
     def test_inline_suppression_silences_finding(self):
         rule = rules_by_id()["unseeded-rng"]
@@ -232,6 +346,15 @@ class TestAnalyzerScoping:
         assert rule.applies_to("eval/parallel.py")
         assert not rule.applies_to("rl/policy.py")
 
+    def test_prefix_anchor_matches_any_file_under_directory(self):
+        rule = rules_by_id()["rng-stream-ownership"]
+        assert rule.anchors == ("netsim/",)
+        assert rule.anchored_by({"netsim/link.py"})
+        assert rule.anchored_by({"netsim/rngstreams.py", "rl/policy.py"})
+        assert not rule.anchored_by({"eval/parallel.py"})
+        # "netsim/" must not match a *file* named netsim elsewhere
+        assert not rule.anchored_by({"rl/netsim.py"})
+
     def test_explicit_file_list_skips_unanchored_project_rules(self, tmp_path):
         pkg = tmp_path / "pkg"
         pkg.mkdir()
@@ -270,11 +393,16 @@ class TestCli:
         assert payload["summary"]["total"] == 1
         assert payload["findings"][0]["rule"] == "transmit-unpack"
 
-    def test_list_rules_covers_every_family(self):
+    def test_list_rules_groups_by_family(self):
         proc = _run_cli("--list-rules")
         assert proc.returncode == 0
-        for family in ("determinism", "fingerprint", "engine", "rng"):
-            assert f"[{family}]" in proc.stdout
+        for family in ("determinism", "fingerprint", "engine", "rng",
+                       "rng-ownership", "env-taint", "global-state",
+                       "signature-purity"):
+            assert f"{family}:" in proc.stdout
+        # rule lines are indented under their family header
+        assert "\n  unseeded-rng" in proc.stdout
+        assert "\n  rng-stream-ownership" in proc.stdout
 
     def test_unknown_select_is_usage_error(self):
         proc = _run_cli("--select", "no-such-rule")
@@ -296,6 +424,137 @@ class TestCli:
         assert proc.returncode == 0, proc.stdout + proc.stderr
 
 
+class TestSarif:
+    """SARIF 2.1.0 output: structurally valid, one result per finding,
+    suppressions excluded (no jsonschema dependency -- structural
+    checks mirror what GitHub code scanning requires)."""
+
+    @staticmethod
+    def _validate(payload):
+        assert payload["version"] == "2.1.0"
+        assert payload["$schema"].endswith("sarif-2.1.0.json")
+        assert len(payload["runs"]) == 1
+        run = payload["runs"][0]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "replint"
+        rule_ids = [r["id"] for r in driver["rules"]]
+        assert rule_ids == sorted(rule_ids)
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"]
+        for result in run["results"]:
+            assert result["ruleId"] in rule_ids
+            assert rule_ids[result["ruleIndex"]] == result["ruleId"]
+            assert result["message"]["text"]
+            loc = result["locations"][0]["physicalLocation"]
+            assert loc["artifactLocation"]["uri"]
+            assert loc["region"]["startLine"] >= 1
+            assert loc["region"]["startColumn"] >= 1
+        return run
+
+    def test_clean_repo_sarif_validates_with_empty_results(self):
+        proc = _run_cli("--format=sarif")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        run = self._validate(json.loads(proc.stdout))
+        assert run["results"] == []
+        # driver metadata still lists the full rule set
+        ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"rng-stream-ownership", "env-taint",
+                "signature-purity"} <= ids
+
+    def test_one_result_per_finding_with_repo_relative_uris(self):
+        proc = _run_cli("--format=sarif", "--no-baseline",
+                        str(FIXTURES / "bad_transmit_unpack.py"),
+                        "--root", str(FIXTURES))
+        assert proc.returncode == 1
+        run = self._validate(json.loads(proc.stdout))
+        assert len(run["results"]) == 1
+        result = run["results"][0]
+        assert result["ruleId"] == "transmit-unpack"
+        uri = result["locations"][0]["physicalLocation"][
+            "artifactLocation"]["uri"]
+        # --root two levels under the repo -> repo-relative prefix
+        assert uri.endswith("replint/bad_transmit_unpack.py")
+
+    def test_suppressed_findings_are_excluded(self):
+        rule_path = str(FIXTURES / "suppressed.py")
+        proc = _run_cli("--format=sarif", "--no-baseline", rule_path,
+                        "--root", str(FIXTURES))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        run = self._validate(json.loads(proc.stdout))
+        assert run["results"] == []
+
+
+class TestChangedOnlyRegression:
+    """Satellite regression: project-scope rules must run under
+    --changed-only whenever an anchor file is in the git diff, and
+    untracked files must count as changed."""
+
+    @pytest.fixture()
+    def temp_repo(self, tmp_path):
+        (tmp_path / "src" / "pkg" / "netsim").mkdir(parents=True)
+        root = tmp_path / "src" / "pkg"
+        registry = root / "netsim" / "rngstreams.py"
+        registry.write_text(
+            "class StreamDef:\n"
+            "    pass\n"
+            "STREAMS = ()\n")
+        engine = root / "netsim" / "engine.py"
+        engine.write_text("x = 1\n")
+
+        def git(*args):
+            proc = subprocess.run(
+                ["git", "-c", "user.email=t@t", "-c", "user.name=t",
+                 *args], cwd=tmp_path, capture_output=True, text=True)
+            assert proc.returncode == 0, proc.stderr
+            return proc
+
+        git("init", "-q")
+        git("add", "-A")
+        git("commit", "-qm", "seed")
+        return tmp_path, root, engine
+
+    def _replint(self, tmp_path, root, *args):
+        return _run_cli("--changed-only", "--no-baseline",
+                        "--select=rng-stream-ownership",
+                        "--root", str(root), *args, cwd=tmp_path)
+
+    def test_clean_worktree_analyzes_nothing(self, temp_repo):
+        tmp_path, root, _ = temp_repo
+        proc = self._replint(tmp_path, root)
+        assert proc.returncode == 0
+        assert "no changed files" in proc.stdout
+
+    def test_modified_anchor_file_triggers_project_rule(self, temp_repo):
+        tmp_path, root, engine = temp_repo
+        engine.write_text(
+            "import numpy as np\n"
+            "def build(seed):\n"
+            "    return np.random.default_rng(seed)\n")
+        proc = self._replint(tmp_path, root)
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "rng-stream-ownership" in proc.stdout
+
+    def test_untracked_anchor_file_triggers_project_rule(self, temp_repo):
+        # A brand-new file is invisible to `git diff HEAD` until staged;
+        # the ls-files fallback must still pick it up.
+        tmp_path, root, _ = temp_repo
+        fresh = root / "netsim" / "fresh.py"
+        fresh.write_text(
+            "import numpy as np\n"
+            "def mint(seed):\n"
+            "    return np.random.default_rng(seed)\n")
+        proc = self._replint(tmp_path, root)
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "rng-stream-ownership" in proc.stdout
+        assert "fresh.py" in proc.stdout
+
+    def test_non_anchor_change_skips_project_rule(self, temp_repo):
+        tmp_path, root, _ = temp_repo
+        (root / "other.py").write_text("y = 2\n")
+        proc = self._replint(tmp_path, root)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
 class TestFixturesStayBad:
     """Guard the fixtures themselves: every bad_* file must keep
     producing at least one finding for its rule (a fixture silently
@@ -311,6 +570,9 @@ class TestFixturesStayBad:
         ("slots-attrs", "bad_slots.py"),
         ("transmit-unpack", "bad_transmit_unpack.py"),
         ("adhoc-rng", "bad_adhoc_rng.py"),
+        ("rng-foreign-draw", "bad_foreign_draw.py"),
+        ("rng-shared-drain", "bad_shared_drain.py"),
+        ("mutable-global-state", "bad_mutable_global.py"),
     ]
 
     @pytest.mark.parametrize("rule_id,fixture", CASES)
