@@ -9,6 +9,10 @@ benchmark is what keeps the speed from silently rotting:
 
 * measures every :data:`~repro.eval.perf.PERF_SHAPES` shape under both
   transit engines (warm, best-of-N) plus the full serial pipeline;
+* measures the batched multi-cell dispatch shape (PR 8): a 16-cell
+  short-duration grid through :class:`~repro.eval.parallel.ParallelRunner`
+  under batch-per-worker vs cell-per-task dispatch, reporting cells/sec
+  for both and the speedup (the checked-in baseline records >=1.5x);
 * writes ``BENCH_engine.json`` (in ``BENCH_OUTPUT_DIR``, default the
   working directory) with raw events/sec, cells/sec, and
   machine-normalized events-per-calibration-op;
@@ -44,7 +48,7 @@ def bench_engine_speed(benchmark):
     repeats = int(os.environ.get("ENGINE_BENCH_REPEATS", "3"))
 
     report = run_once(benchmark, lambda: engine_speed_report(
-        duration=duration, repeats=repeats, pipeline=True))
+        duration=duration, repeats=repeats, pipeline=True, batched=True))
 
     rows = [[s["shape"], s["transit"], s["events"], s["events_per_sec"],
              s["cells_per_sec"], s["events_per_calibration_op"]]
@@ -56,10 +60,19 @@ def bench_engine_speed(benchmark):
           f"{report['pipeline_wall_s']}s -> "
           f"{report['pipeline_cells_per_sec']} cells/s, "
           f"{report['pipeline_events_per_sec']} events/s")
+    b = report["batched"]
+    print(f"batched dispatch: {b['cells']} cells x {b['duration']}s, "
+          f"{b['n_workers']} workers: batch-per-worker "
+          f"{b['batched_cells_per_sec']} cells/s vs cell-per-task "
+          f"{b['per_cell_cells_per_sec']} cells/s -> {b['speedup']}x")
 
     for s in report["shapes"]:
         assert s["events"] > 0 and s["events_per_sec"] > 0, s
     assert report["pipeline_cells_per_sec"] > 0
+    assert b["batched_cells_per_sec"] > 0 and b["per_cell_cells_per_sec"] > 0
+    # The batching win itself (>= 1.5x measured at baseline time) is
+    # gated against BENCH_engine_baseline.json by check_regression
+    # below, tolerance-buffered like every other perf number.
 
     failures = []
     if BASELINE_PATH.exists():

@@ -6,6 +6,7 @@ Exit codes: 0 clean, 1 non-baselined findings, 2 usage error.
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import subprocess
 import sys
 from pathlib import Path
@@ -90,30 +91,52 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="analyze only files changed vs HEAD "
                              "(git diff --name-only)")
     parser.add_argument("--select", default=None,
-                        help="comma-separated rule ids to run exclusively")
+                        help="comma-separated rule ids or glob patterns "
+                             "(e.g. rng-*, batch-*) to run exclusively")
     parser.add_argument("--ignore", default=None,
-                        help="comma-separated rule ids to skip")
+                        help="comma-separated rule ids or glob patterns "
+                             "to skip")
     parser.add_argument("--list-rules", action="store_true",
                         help="list rule ids and descriptions, then exit")
     return parser
 
 
 def _pick_rules(select: str | None, ignore: str | None):
+    """Filter the rule set; entries may be exact ids or glob patterns.
+
+    ``--select 'rng-*'`` runs a whole family by id prefix.  An exact id
+    that matches nothing is a usage error, and so is a pattern with
+    zero hits -- a silently-empty selection would report "clean" while
+    checking nothing.
+    """
     rules = all_rules()
     known = {r.id for r in rules}
     for flag, raw in (("--select", select), ("--ignore", ignore)):
         if raw is None:
             continue
-        ids = {r.strip() for r in raw.split(",") if r.strip()}
-        unknown = ids - known
+        chosen: set = set()
+        unknown = []
+        for pat in (p.strip() for p in raw.split(",") if p.strip()):
+            if any(ch in pat for ch in "*?["):
+                hits = {rid for rid in known
+                        if fnmatch.fnmatchcase(rid, pat)}
+                if not hits:
+                    raise SystemExit(
+                        f"replint: {flag}: pattern {pat!r} matches no "
+                        f"rule id (see --list-rules)")
+                chosen |= hits
+            elif pat in known:
+                chosen.add(pat)
+            else:
+                unknown.append(pat)
         if unknown:
             raise SystemExit(
                 f"replint: {flag}: unknown rule id(s): "
                 f"{', '.join(sorted(unknown))} (see --list-rules)")
         if flag == "--select":
-            rules = [r for r in rules if r.id in ids]
+            rules = [r for r in rules if r.id in chosen]
         else:
-            rules = [r for r in rules if r.id not in ids]
+            rules = [r for r in rules if r.id not in chosen]
     return rules
 
 

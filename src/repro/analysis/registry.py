@@ -2,6 +2,11 @@
 
 from __future__ import annotations
 
+from repro.analysis.rules_batch import (
+    BatchIsolationRule,
+    BatchRngRule,
+    BatchSharedMutableRule,
+)
 from repro.analysis.rules_dataflow import (
     EnvTaintRule,
     MutableGlobalStateRule,
@@ -51,6 +56,10 @@ _RULE_CLASSES = (
     EnvTaintRule,
     MutableGlobalStateRule,
     SignaturePurityRule,
+    # cross-cell isolation (batched execution)
+    BatchSharedMutableRule,
+    BatchRngRule,
+    BatchIsolationRule,
 )
 
 

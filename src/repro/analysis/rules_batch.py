@@ -1,0 +1,381 @@
+"""Cross-cell isolation rules for batched multi-cell execution.
+
+:mod:`repro.eval.batch` interleaves many simulation cells inside one
+process, which is only sound if the cells behave exactly as if each
+ran alone.  The contract (documented in that module) is: cells share
+*immutable* assets only, every shared binding is declared on a
+justified ``SHARED_IMMUTABLE_ALLOWLIST``, and the batch layer itself
+never mints or drains an RNG stream.  Three rules check the contract
+from independent directions:
+
+``batch-shared-mutable``
+    Static: any object created *outside* the per-cell build loop and
+    handed to a cell build (``build_scenario_simulation`` /
+    ``Simulation``) must flow through an allowlisted binding name --
+    and every allowlist entry must correspond to such a binding
+    (stale entries are findings, the same honesty mechanism the env
+    allowlist uses).
+
+``batch-rng-derivation``
+    Static: the batch layer must not construct or draw from RNG
+    streams.  Generators are derived per cell, from the cell's own
+    scenario seed, through the :mod:`repro.netsim.rngstreams`
+    registry -- the contrapositive of "generators handed to a cell
+    trace to a cell-indexed stream derivation".
+
+``batch-cell-isolation``
+    Live: build two probe cells of the installed package sharing a
+    named trace, walk both object graphs, and assert that every
+    object reachable from *both* cells' :class:`SimState` instances
+    is immutable (or justified).  A shared ``np.random.Generator`` is
+    called out specially.  The probe only runs against the installed
+    package root; foreign roots (fixture trees) are covered by the
+    static rules, and :func:`check_cell_isolation` is exposed so the
+    tests can aim the walker at hand-built bad cells.
+"""
+
+from __future__ import annotations
+
+import ast
+import gc
+import types
+from pathlib import Path
+
+from repro.analysis.core import (AstRule, Finding, ProjectRule, default_root,
+                                 dotted_name)
+
+__all__ = [
+    "BatchSharedMutableRule",
+    "BatchRngRule",
+    "BatchIsolationRule",
+    "check_batch_source",
+    "check_cell_isolation",
+]
+
+#: The module the batch contract lives in, relative to the package root.
+BATCH_RELPATH = "eval/batch.py"
+
+ALLOWLIST_NAME = "SHARED_IMMUTABLE_ALLOWLIST"
+
+#: Callables that construct a cell (receiving objects the cell keeps).
+_CELL_BUILDERS = {"build_scenario_simulation", "Simulation"}
+
+#: Last-segment names that mint an RNG stream or seed material.
+_RNG_CONSTRUCTORS = {"default_rng", "RandomState", "SeedSequence", "Philox",
+                     "PCG64", "MT19937", "stream_rng", "spawn"}
+
+#: Generator draw methods: calling any of these in the batch layer
+#: means a stream is being drained outside every cell's own derivation.
+_RNG_DRAWS = {"random", "uniform", "integers", "normal", "standard_normal",
+              "choice", "shuffle", "permutation", "exponential", "poisson"}
+
+
+# --- static: the allowlist vs. what the build loop actually shares ----------
+
+def _root_name(node: ast.AST) -> str | None:
+    """Base ``Name`` of an expression (``a.b[0].c`` -> ``a``)."""
+    while isinstance(node, (ast.Attribute, ast.Subscript, ast.Starred)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _parse_allowlist(tree: ast.Module, relpath: str, rule_id: str):
+    """``(names, findings, lineno)`` from the allowlist declaration.
+
+    ``names`` is ``None`` when no declaration exists at module level.
+    Entries must be literal ``(name, justification)`` string pairs with
+    a non-empty justification -- the rule exists to force the *why*
+    into the code.
+    """
+    findings: list[Finding] = []
+    for node in tree.body:
+        if isinstance(node, ast.AnnAssign) and \
+                isinstance(node.target, ast.Name) and \
+                node.target.id == ALLOWLIST_NAME:
+            value = node.value
+        elif isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == ALLOWLIST_NAME
+                for t in node.targets):
+            value = node.value
+        else:
+            continue
+        names: list[str] = []
+        if not isinstance(value, ast.Tuple):
+            findings.append(Finding(
+                relpath, node.lineno, node.col_offset, rule_id,
+                f"{ALLOWLIST_NAME} must be a literal tuple of "
+                f"(name, justification) pairs"))
+            return names, findings, node.lineno
+        for elt in value.elts:
+            if (isinstance(elt, ast.Tuple) and len(elt.elts) == 2
+                    and all(isinstance(e, ast.Constant)
+                            and isinstance(e.value, str)
+                            for e in elt.elts)):
+                name, why = (e.value for e in elt.elts)
+                if not why.strip():
+                    findings.append(Finding(
+                        relpath, elt.lineno, elt.col_offset, rule_id,
+                        f"{ALLOWLIST_NAME} entry {name!r} has an empty "
+                        f"justification"))
+                names.append(name)
+            else:
+                findings.append(Finding(
+                    relpath, elt.lineno, elt.col_offset, rule_id,
+                    f"{ALLOWLIST_NAME} entries must be literal "
+                    f"(name, justification) string pairs"))
+        return names, findings, node.lineno
+    return None, findings, 1
+
+
+def _loop_bound_names(loop: ast.AST) -> set:
+    """Names (re)bound inside ``loop`` -- per-iteration objects."""
+    bound: set = set()
+    for node in ast.walk(loop):
+        if isinstance(node, ast.Name) and \
+                isinstance(node.ctx, (ast.Store, ast.Del)):
+            bound.add(node.id)
+        elif isinstance(node, ast.comprehension):
+            for target in ast.walk(node.target):
+                if isinstance(target, ast.Name):
+                    bound.add(target.id)
+    return bound
+
+
+def check_batch_source(source: str, relpath: str = BATCH_RELPATH,
+                       rule_id: str = "batch-shared-mutable") -> list:
+    """All ``batch-shared-mutable`` findings for one batch-layer file."""
+    tree = ast.parse(source)
+    allow, findings, allow_line = _parse_allowlist(tree, relpath, rule_id)
+    shared_uses: set = set()
+    build_calls = 0
+
+    loops = [n for n in ast.walk(tree)
+             if isinstance(n, (ast.For, ast.AsyncFor, ast.While))]
+    for loop in loops:
+        bound = _loop_bound_names(loop)
+        for node in ast.walk(loop):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None or \
+                    name.rsplit(".", 1)[-1] not in _CELL_BUILDERS:
+                continue
+            build_calls += 1
+            args = list(node.args) + [kw.value for kw in node.keywords]
+            for arg in args:
+                if isinstance(arg, ast.Constant):
+                    continue
+                root = _root_name(arg)
+                if root is None or root in bound:
+                    continue  # fresh expression or per-iteration binding
+                if allow is not None and root in allow:
+                    shared_uses.add(root)
+                    continue
+                findings.append(Finding(
+                    relpath, arg.lineno, arg.col_offset, rule_id,
+                    f"'{root}' is created outside the per-cell loop and "
+                    f"handed to a cell build; every cross-cell object "
+                    f"must be immutable and listed in {ALLOWLIST_NAME} "
+                    f"with a justification (or built per cell)"))
+
+    if build_calls and allow is None:
+        findings.append(Finding(
+            relpath, 1, 0, rule_id,
+            f"cell builds found but no module-level {ALLOWLIST_NAME}; "
+            f"declare the (empty) allowlist so sharing stays auditable"))
+    for name in allow or ():
+        if name not in shared_uses:
+            findings.append(Finding(
+                relpath, allow_line, 0, rule_id,
+                f"stale {ALLOWLIST_NAME} entry '{name}': no cell build "
+                f"receives an outside-loop object by that name; remove "
+                f"the entry"))
+    return findings
+
+
+class BatchSharedMutableRule(ProjectRule):
+    id = "batch-shared-mutable"
+    description = ("objects shared across batched cells must flow through "
+                   "the justified SHARED_IMMUTABLE_ALLOWLIST")
+    family = "isolation"
+    anchors = (BATCH_RELPATH,)
+
+    def check_project(self, root: Path) -> list:
+        path = Path(root) / BATCH_RELPATH
+        if not path.exists():
+            return []
+        return check_batch_source(path.read_text(), BATCH_RELPATH, self.id)
+
+
+# --- static: no RNG minting or draining in the batch layer ------------------
+
+class BatchRngRule(AstRule):
+    id = "batch-rng-derivation"
+    description = ("the batch layer neither mints nor drains RNG streams; "
+                   "cells derive their own cell-indexed streams")
+    family = "isolation"
+    packages = (BATCH_RELPATH,)
+
+    def check(self, tree: ast.AST, source: str, relpath: str) -> list:
+        findings = []
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            last = name.rsplit(".", 1)[-1]
+            if last in _RNG_CONSTRUCTORS:
+                findings.append(Finding(
+                    relpath, node.lineno, node.col_offset, self.id,
+                    f"{name}(...) mints an RNG stream in the batch layer; "
+                    f"generators must be derived per cell from the cell's "
+                    f"own scenario seed via the rngstreams registry"))
+            elif isinstance(node.func, ast.Attribute) and last in _RNG_DRAWS:
+                findings.append(Finding(
+                    relpath, node.lineno, node.col_offset, self.id,
+                    f"{name}(...) draws from an RNG stream in the batch "
+                    f"layer; interleaving order must never influence any "
+                    f"cell's stream state"))
+        return findings
+
+
+# --- live: walk two probe cells' object graphs ------------------------------
+
+#: Never traversed (and never reported): code/metadata objects shared
+#: by construction, not by the batch layer.
+_PRUNE_TYPES = (type, types.ModuleType, types.FunctionType,
+                types.BuiltinFunctionType, types.CodeType,
+                types.GetSetDescriptorType, types.MemberDescriptorType,
+                types.MappingProxyType, property, staticmethod, classmethod)
+
+#: Traversed but never reported: immutable values (or pure references
+#: whose targets are themselves walked, like tuples and bound methods).
+_INERT_TYPES = (str, bytes, bool, int, float, complex, type(None),
+                frozenset, range, slice, tuple, types.MethodType)
+
+
+def _reachable(obj) -> dict:
+    """``{id: object}`` for everything reachable from ``obj``."""
+    seen: dict = {}
+    stack = [obj]
+    while stack:
+        cur = stack.pop()
+        if id(cur) in seen or isinstance(cur, _PRUNE_TYPES):
+            continue
+        seen[id(cur)] = cur
+        stack.extend(gc.get_referents(cur))
+    return seen
+
+
+def _default_allowed(obj) -> bool:
+    """The live counterpart of the declared allowlist: frozen traces."""
+    import numpy as np
+
+    from repro.netsim.traces import BandwidthTrace
+    if isinstance(obj, BandwidthTrace):
+        return all(not value.flags.writeable
+                   for value in vars(obj).values()
+                   if isinstance(value, np.ndarray))
+    return False
+
+
+def check_cell_isolation(states, allowed=_default_allowed,
+                         relpath: str = BATCH_RELPATH,
+                         rule_id: str = "batch-cell-isolation") -> list:
+    """Findings for mutable objects reachable from >= 2 of ``states``.
+
+    ``states`` are the cells' :class:`SimState` objects (anything
+    rooting a cell's object graph works).  ``allowed(obj)`` says
+    whether a shared object is justified -- the default accepts only
+    traces whose array payloads are frozen read-only, mirroring the
+    declared allowlist in :mod:`repro.eval.batch`.
+    """
+    import numpy as np
+
+    graphs = [_reachable(state) for state in states]
+    counts: dict = {}
+    for graph in graphs:
+        for obj_id in graph:
+            counts[obj_id] = counts.get(obj_id, 0) + 1
+    shared = [(next(g[obj_id] for g in graphs if obj_id in g), n)
+              for obj_id, n in counts.items() if n >= 2]
+
+    def _is_frozen_dataclass(obj) -> bool:
+        params = getattr(type(obj), "__dataclass_params__", None)
+        return params is not None and params.frozen
+
+    # A justified instance's attribute ``__dict__`` is the same asset,
+    # not an independent sharing channel -- exempt it alongside its
+    # owner (mutating it is already a hard fault for frozen arrays and
+    # is what the probe exists to keep impossible elsewhere).
+    exempt_ids = {id(vars(obj)) for obj, _ in shared
+                  if hasattr(obj, "__dict__")
+                  and (_is_frozen_dataclass(obj) or allowed(obj))}
+
+    messages: set = set()
+    for obj, n in shared:
+        if id(obj) in exempt_ids:
+            continue
+        if isinstance(obj, _INERT_TYPES) or \
+                isinstance(obj, (np.dtype, np.generic)):
+            continue
+        if isinstance(obj, np.ndarray) and not obj.flags.writeable:
+            continue
+        if _is_frozen_dataclass(obj):
+            # The instance cannot be rebound; its field values are
+            # themselves in the walk and judged on their own.
+            continue
+        if allowed(obj):
+            continue
+        kind = f"{type(obj).__module__}.{type(obj).__qualname__}"
+        if isinstance(obj, (np.random.Generator, np.random.BitGenerator,
+                            np.random.SeedSequence)):
+            messages.add(
+                f"{kind} is reachable from {n} cells' SimStates; every "
+                f"generator handed to a cell must derive from that "
+                f"cell's own cell-indexed stream (rngstreams registry)")
+        else:
+            messages.add(
+                f"mutable {kind} is reachable from {n} cells' SimStates; "
+                f"cross-cell objects must be immutable and justified in "
+                f"{ALLOWLIST_NAME}")
+    return [Finding(relpath, 1, 0, rule_id, message)
+            for message in sorted(messages)]
+
+
+class BatchIsolationRule(ProjectRule):
+    id = "batch-cell-isolation"
+    description = ("no unlisted mutable object is reachable from two "
+                   "batched cells' SimStates (live two-cell probe)")
+    family = "isolation"
+    anchors = (BATCH_RELPATH, "eval/scenarios.py", "netsim/")
+
+    def check_project(self, root: Path) -> list:
+        if Path(root).resolve() != default_root():
+            # The probe builds cells of the *installed* package; on a
+            # foreign root it would attribute installed-tree findings
+            # to files that are not being analyzed.  The static rules
+            # carry the contract there.
+            return []
+        try:
+            from repro.eval.batch import BatchRunner
+            from repro.eval.scenarios import ScenarioSuite
+        except Exception as exc:  # pragma: no cover - environment issue
+            return [Finding(BATCH_RELPATH, 1, 0, self.id,
+                            f"isolation probe could not import the batch "
+                            f"layer: {exc}")]
+        # Two classical-scheme cells sharing one named trace: cheap to
+        # build (no zoo resolution, nothing is run) yet exercising the
+        # exact sharing path -- make_trace(cache=...) -- batches use.
+        scenarios = ScenarioSuite(
+            name="replint-isolation-probe", lineups=[("cubic", "bbr")],
+            traces=("wifi-walk",), seeds=(0, 1), duration=0.05).expand()
+        cells = BatchRunner(prewarm=False).build_cells(scenarios)
+        broken = [c for c in cells if c.error is not None]
+        if broken:
+            return [Finding(BATCH_RELPATH, 1, 0, self.id,
+                            f"isolation probe cell failed to build: "
+                            f"{broken[0].error}")]
+        return check_cell_isolation([cell.sim.state for cell in cells],
+                                    rule_id=self.id)

@@ -25,6 +25,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.eval.batch import BatchRunner, warm_agent_refs
 from repro.eval.scenarios import (
     SCENARIO_CACHE_VERSION,
     AgentRef,
@@ -258,6 +259,11 @@ class ScenarioResult:
                 "latency_ratio": record.latency_ratio,
                 "loss_rate": record.loss_rate,
                 "cached": self.cached,
+                # Per-cell engine accounting (0/0.0 for cache-served
+                # cells): lets batched and per-process runs be compared
+                # cell by cell straight from the table.
+                "events": self.events,
+                "wall_s": self.elapsed,
             })
         return rows
 
@@ -371,25 +377,51 @@ def _execute(scenario: Scenario) -> tuple[list[FlowRecord], float, int]:
     return records, time.perf_counter() - t0, sim.events_processed
 
 
-#: Scenarios staged for the forked pool.  Workers index into the
-#: parent's copy-on-write memory instead of receiving pickled
-#: scenarios -- live agents embedded in a FlowDef would otherwise be
-#: serialised through the IPC pipe once per task.
+#: Cell batches staged for the forked pool, as lists of positions into
+#: the pending list.  Workers index into the parent's copy-on-write
+#: memory instead of receiving pickled scenarios -- live agents
+#: embedded in a FlowDef would otherwise be serialised through the IPC
+#: pipe once per task.
+_FORK_BATCHES: list[list[int]] = []
 _FORK_SCENARIOS: list[Scenario] = []
+_FORK_WARM_REFS: tuple[AgentRef, ...] = ()
 
 
-def _execute_staged(index: int):
-    """Worker entry point: ``(index, payload, error)``.
+def _init_batch_worker() -> None:
+    """Once-per-worker initializer: resolve the suite's agent refs.
+
+    Under the fork start method the zoo memo is usually already warm
+    (the parent resolves before forking, children inherit through
+    copy-on-write), so this is a set of dict hits; under a cold child
+    it loads each agent exactly once.  Either way no batch task ever
+    re-resolves refs itself (``BatchRunner(prewarm=False)`` below).
+    """
+    for ref in _FORK_WARM_REFS:
+        ref.resolve()
+
+
+def _execute_batch(batch_index: int):
+    """Worker entry point: one batch -> per-cell ``(position, payload,
+    error)`` triples.
 
     Failures come back as strings instead of raised exceptions so the
     parent can decide (per its ``early_abort`` setting) whether one bad
     cell cancels the rest of the suite -- and so unpicklable exception
-    objects never wedge the result pipe.
+    objects never wedge the result pipe.  A failing cell never takes
+    its batch siblings with it: ``BatchRunner`` isolates errors per
+    cell.
     """
-    try:
-        return index, _execute(_FORK_SCENARIOS[index]), None
-    except Exception as exc:  # noqa: BLE001 -- reported to the parent
-        return index, None, f"{type(exc).__name__}: {exc}"
+    positions = _FORK_BATCHES[batch_index]
+    runner = BatchRunner(prewarm=False)
+    cells = runner.run([_FORK_SCENARIOS[p] for p in positions])
+    out = []
+    for position, cell in zip(positions, cells):
+        if cell.error is not None:
+            out.append((position, None, cell.error))
+        else:
+            out.append((position,
+                        (cell.records, cell.elapsed, cell.events), None))
+    return out
 
 
 class ParallelRunner:
@@ -402,31 +434,54 @@ class ParallelRunner:
     inherit the loaded models through copy-on-write memory instead of
     re-reading (or worse, re-training) them.
 
+    Pending cells are dispatched to workers in *batches* executed by
+    :class:`~repro.eval.batch.BatchRunner` -- interleaved event loops
+    sharing frozen per-batch assets -- rather than one pool task per
+    cell; ``batch_size=None`` picks a size that still leaves several
+    tasks per worker for load balancing.  Cache semantics are
+    unchanged: hits and misses, fingerprint keys, and result rows are
+    all per cell.
+
     A failing scenario raises :class:`ScenarioError` naming the cell.
-    With ``early_abort=True`` the first failure cancels outstanding
-    shards immediately (the pool is torn down, queued cells never
-    start); otherwise the rest of the suite completes -- and is cached
-    -- before the error is raised.
+    With ``early_abort=True`` batching is disabled (cells dispatch
+    one-per-task, exactly the pre-batching shape) so the first failure
+    cancels outstanding shards immediately -- the pool is torn down,
+    queued cells never start; otherwise the rest of the suite
+    completes -- and is cached -- before the error is raised.
     """
+
+    #: Auto batch sizing: leave at least this many batches per worker
+    #: so one slow batch cannot idle the rest of the pool...
+    AUTO_BATCHES_PER_WORKER = 3
+    #: ...and never interleave more cells than this in one process
+    #: (bounds resident simulations per worker).
+    MAX_AUTO_BATCH = 16
 
     def __init__(self, n_workers: int | None = None,
                  cache_dir: str | Path | None = None, use_cache: bool = True,
                  early_abort: bool = False,
-                 cache_max_bytes: int | None = None):
+                 cache_max_bytes: int | None = None,
+                 batch_size: int | None = None):
         if n_workers is None:
             n_workers = max(1, min(mp.cpu_count(), 8))
         self.n_workers = int(n_workers)
         self.cache = (ResultCache(cache_dir, max_bytes=cache_max_bytes)
                       if use_cache else None)
         self.early_abort = bool(early_abort)
+        if batch_size is not None and int(batch_size) < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = None if batch_size is None else int(batch_size)
 
     def _warm_agents(self, scenarios: list[Scenario]) -> None:
-        refs = {flow.agent for s in scenarios for flow in s.flows
-                if isinstance(flow.agent, AgentRef)}
-        # Sorted so every host trains/loads missing zoo entries in the
-        # same order (set order varies with hash randomization).
-        for ref in sorted(refs, key=AgentRef.key):
-            ref.resolve()
+        warm_agent_refs(scenarios)
+
+    def _pick_batch_size(self, n_pending: int) -> int:
+        if self.early_abort:
+            return 1
+        if self.batch_size is not None:
+            return self.batch_size
+        shards = max(1, self.n_workers) * self.AUTO_BATCHES_PER_WORKER
+        return max(1, min(self.MAX_AUTO_BATCH, -(-n_pending // shards)))
 
     def run(self, suite) -> SuiteResult:
         """Run a :class:`ScenarioSuite`, scenario list, or single scenario."""
@@ -467,27 +522,48 @@ class ParallelRunner:
                 if self.cache:
                     self.cache.put(fingerprint, scenario.name, records)
 
-            if self.n_workers > 1 and len(pending) > 1:
-                global _FORK_SCENARIOS
+            batch_size = self._pick_batch_size(len(pending))
+            batches = [list(range(start, min(start + batch_size,
+                                             len(pending))))
+                       for start in range(0, len(pending), batch_size)]
+
+            if self.n_workers > 1 and len(batches) > 1:
+                global _FORK_BATCHES, _FORK_SCENARIOS, _FORK_WARM_REFS
                 _FORK_SCENARIOS = [s for _, s, _ in pending]
+                _FORK_BATCHES = batches
+                _FORK_WARM_REFS = tuple(sorted(
+                    {flow.agent for s in _FORK_SCENARIOS for flow in s.flows
+                     if isinstance(flow.agent, AgentRef)}, key=AgentRef.key))
                 try:
                     ctx = mp.get_context("fork")
-                    with ctx.Pool(processes=min(self.n_workers, len(pending))) as pool:
-                        # Unordered so completed cells cache (and abort
-                        # checks run) as they land, not in shard order.
-                        for position, payload, error in pool.imap_unordered(
-                                _execute_staged, range(len(pending)),
+                    with ctx.Pool(processes=min(self.n_workers, len(batches)),
+                                  initializer=_init_batch_worker) as pool:
+                        # Unordered so completed batches cache (and
+                        # abort checks run) as they land, not in shard
+                        # order.
+                        for batch_results in pool.imap_unordered(
+                                _execute_batch, range(len(batches)),
                                 chunksize=1):
-                            record_result(position, payload, error)
+                            for position, payload, error in batch_results:
+                                record_result(position, payload, error)
                 finally:
+                    _FORK_BATCHES = []
                     _FORK_SCENARIOS = []
+                    _FORK_WARM_REFS = ()
             else:
-                for position, (_, scenario, _) in enumerate(pending):
-                    try:
-                        payload, error = _execute(scenario), None
-                    except Exception as exc:  # noqa: BLE001
-                        payload, error = None, f"{type(exc).__name__}: {exc}"
-                    record_result(position, payload, error)
+                # Serial reference path: same BatchRunner, in process.
+                # The parent already warmed the zoo above.
+                runner = BatchRunner(prewarm=False)
+                for batch in batches:
+                    cells = runner.run([pending[p][1] for p in batch])
+                    for position, cell in zip(batch, cells):
+                        if cell.error is not None:
+                            record_result(position, None, cell.error)
+                        else:
+                            record_result(
+                                position,
+                                (cell.records, cell.elapsed, cell.events),
+                                None)
 
             if failures:
                 failures.sort()

@@ -40,12 +40,17 @@ from pathlib import Path
 
 from repro.eval.parallel import ParallelRunner
 from repro.eval.runner import EvalNetwork
-from repro.eval.scenarios import FlowDef, Scenario, build_scenario_simulation
+from repro.eval.scenarios import (
+    FlowDef,
+    Scenario,
+    ScenarioSuite,
+    build_scenario_simulation,
+)
 from repro.netsim.topology import dumbbell_asymmetric, parking_lot
 
 __all__ = ["PERF_SCHEMES", "PERF_SHAPES", "EngineSample", "perf_scenarios",
-           "measure_shape", "calibration_score", "engine_speed_report",
-           "check_regression"]
+           "measure_shape", "calibration_score", "batched_grid_scenarios",
+           "measure_batched", "engine_speed_report", "check_regression"]
 
 #: Heuristic schemes the perf shapes run (no trained models: the
 #: harness must be cold-start cheap and CI-friendly).
@@ -167,16 +172,99 @@ def calibration_score(iters: int = 300_000, repeats: int = 3) -> float:
     return best
 
 
+#: The batched-dispatch measurement grid: cells x duration chosen so
+#: per-cell *setup* (named-trace build, controller sizing, pool task
+#: dispatch) is comparable to per-cell run time -- the regime batched
+#: execution exists for (short-horizon screening runs, successive-
+#: halving first rungs).  ``wifi-walk`` is the most construction-heavy
+#: registered trace, which is exactly what the shared per-batch trace
+#: cache amortizes.
+BATCH_GRID_CELLS = 16
+BATCH_GRID_DURATION = 0.25
+BATCH_GRID_TRACE = "wifi-walk"
+
+
+def batched_grid_scenarios(cells: int = BATCH_GRID_CELLS,
+                           duration: float = BATCH_GRID_DURATION,
+                           schemes=PERF_SCHEMES,
+                           trace: str = BATCH_GRID_TRACE) -> list[Scenario]:
+    """The short-duration grid the batched-dispatch shape measures."""
+    schemes = tuple(schemes)
+    if cells % len(schemes):
+        raise ValueError(f"cells ({cells}) must be a multiple of the "
+                         f"scheme count ({len(schemes)})")
+    suite = ScenarioSuite(name="perf-batched", lineups=list(schemes),
+                          traces=(trace,),
+                          seeds=tuple(range(cells // len(schemes))),
+                          duration=duration)
+    return suite.expand()
+
+
+def measure_batched(cells: int = BATCH_GRID_CELLS,
+                    duration: float = BATCH_GRID_DURATION,
+                    n_workers: int = 2, repeats: int = 3,
+                    schemes=PERF_SCHEMES) -> dict:
+    """Time the grid under batch dispatch vs cell-per-task dispatch.
+
+    Both modes run the *same* uncached :class:`ParallelRunner` pipeline
+    at the same worker count; only the dispatch shape differs --
+    ``batch_size=1`` (one pool task per cell, the pre-batching model)
+    against one batch per worker.  Wall time is end to end (forks,
+    construction, event loops, result aggregation): dispatch overhead
+    is precisely what is being measured.  Best-of-``repeats`` per mode,
+    like :func:`measure_shape`.
+    """
+    scenarios = batched_grid_scenarios(cells=cells, duration=duration,
+                                       schemes=schemes)
+    batch_size = -(-len(scenarios) // max(1, n_workers))
+    modes = {"per_cell": 1, "batched": batch_size}
+    # One throwaway batched pass warms traces/zoo/allocator so neither
+    # timed mode is billed for cold start.
+    ParallelRunner(n_workers=n_workers, use_cache=False,
+                   batch_size=batch_size).run(scenarios)
+    walls = {}
+    for label, size in modes.items():
+        runner = ParallelRunner(n_workers=n_workers, use_cache=False,
+                                batch_size=size)
+        best = None
+        for _ in range(max(1, repeats)):
+            wall = runner.run(scenarios).elapsed
+            if best is None or wall < best:
+                best = wall
+        walls[label] = best
+    per_cell_rate = cells / walls["per_cell"] if walls["per_cell"] > 0 else 0.0
+    batched_rate = cells / walls["batched"] if walls["batched"] > 0 else 0.0
+    return {
+        "cells": int(cells),
+        "duration": float(duration),
+        "n_workers": int(n_workers),
+        "batch_size": int(batch_size),
+        "trace": BATCH_GRID_TRACE,
+        "per_cell_wall_s": round(walls["per_cell"], 4),
+        "batched_wall_s": round(walls["batched"], 4),
+        "per_cell_cells_per_sec": round(per_cell_rate, 2),
+        "batched_cells_per_sec": round(batched_rate, 2),
+        "speedup": round(batched_rate / per_cell_rate, 3)
+        if per_cell_rate > 0 else 0.0,
+    }
+
+
 def engine_speed_report(shapes=PERF_SHAPES, transits=("event", "eager"),
                         duration: float = 10.0, seed: int = 0,
                         schemes=PERF_SCHEMES, repeats: int = 1,
-                        pipeline: bool = True) -> dict:
+                        pipeline: bool = True, batched: bool = True) -> dict:
     """Measure every shape x transit; return the BENCH_engine payload.
 
     ``pipeline=True`` additionally times the same scenarios end to end
     through a serial, uncached :class:`ParallelRunner` -- cells/sec of
     the full evaluation pipeline (fingerprinting, controller builds,
     result aggregation), the number sweep wall-clock scales with.
+
+    ``batched=True`` adds the batched multi-cell dispatch shape
+    (:func:`measure_batched`): the 16-cell short-duration grid under
+    batch-per-worker vs cell-per-task dispatch, with the speedup and a
+    calibration-normalized cells/sec that :func:`check_regression`
+    gates against the baseline.
     """
     # Warm the interpreter (bytecode caches, allocator arenas, numpy
     # dispatch) outside any timed window so the first measured shape is
@@ -215,6 +303,11 @@ def engine_speed_report(shapes=PERF_SHAPES, transits=("event", "eager"),
         eps = outcome.events_per_sec
         report["pipeline_events_per_sec"] = (round(eps, 1)
                                              if eps is not None else None)
+    if batched:
+        sample = measure_batched(repeats=max(1, repeats))
+        sample["cells_per_calibration_op"] = round(
+            sample["batched_cells_per_sec"] / calibration, 9)
+        report["batched"] = sample
     return report
 
 
@@ -227,6 +320,12 @@ def check_regression(report: dict, baseline: dict,
     than ``tolerance`` below the baseline's; empty list means no
     regression.  Shapes present in only one report are ignored (grids
     may grow).
+
+    When both reports carry the ``batched`` dispatch shape, its
+    calibration-normalized cells/sec and its batched-over-per-cell
+    speedup are gated the same way -- so a change that quietly erodes
+    the batching win (say, per-batch setup creeping back in) fails CI
+    just like an event-loop slowdown.
     """
     def normalized(payload: dict) -> dict:
         return {(s["shape"], s["transit"]): s["events_per_calibration_op"]
@@ -242,6 +341,20 @@ def check_regression(report: dict, baseline: dict,
                 f"{shape}/{transit}: normalized events/sec "
                 f"{fresh[key]:.6f} fell below {floor:.6f} "
                 f"(baseline {base[key]:.6f} - {tolerance:.0%})")
+    fresh_b, base_b = report.get("batched"), baseline.get("batched")
+    if fresh_b and base_b:
+        gates = (("cells_per_calibration_op", "normalized batched cells/sec",
+                  ".9f"),
+                 ("speedup", "batched dispatch speedup", ".3f"))
+        for key, label, fmt in gates:
+            if key not in fresh_b or key not in base_b:
+                continue
+            floor = base_b[key] * (1.0 - tolerance)
+            if fresh_b[key] < floor:
+                failures.append(
+                    f"batched: {label} {fresh_b[key]:{fmt}} fell below "
+                    f"{floor:{fmt}} (baseline {base_b[key]:{fmt}} - "
+                    f"{tolerance:.0%})")
     return failures
 
 

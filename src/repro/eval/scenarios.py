@@ -447,10 +447,11 @@ class Scenario:
         elif any(flow.path is not None for flow in flows):
             raise ValueError("flow paths need a topology")
 
-    def build_network(self) -> EvalNetwork:
+    def build_network(self, trace_cache: dict | None = None) -> EvalNetwork:
         if self.trace is None:
             return self.network
-        return replace(self.network, trace=make_trace(self.trace))
+        return replace(self.network,
+                       trace=make_trace(self.trace, cache=trace_cache))
 
     def fingerprint(self) -> str:
         """Content hash identifying the scenario's *results*.
@@ -515,7 +516,8 @@ def _build_controller(flow: FlowDef, network: EvalNetwork, seed: int):
                           **_controller_kwargs(flow, agent))
 
 
-def build_scenario_simulation(scenario: Scenario) -> Simulation:
+def build_scenario_simulation(scenario: Scenario,
+                              trace_cache: dict | None = None) -> Simulation:
     """Wire one scenario into an unrun :class:`Simulation`.
 
     The construction half of :func:`run_scenario`: same agent
@@ -523,10 +525,15 @@ def build_scenario_simulation(scenario: Scenario) -> Simulation:
     engine-speed profiling (:mod:`repro.eval.perf`) can time ``run_all``
     and read ``Simulation.events_processed`` on exactly the simulations
     the evaluation pipeline would run.
+
+    ``trace_cache`` is the batched-execution hook: cells built with a
+    shared cache dict reuse (frozen, read-only) named-trace instances
+    instead of re-running each registry factory per cell -- see
+    :func:`repro.netsim.traces.make_trace`.
     """
     if scenario.topology is not None:
-        return _build_topology_simulation(scenario)
-    network = scenario.build_network()
+        return _build_topology_simulation(scenario, trace_cache)
+    network = scenario.build_network(trace_cache)
     controllers, starts, stops = [], [], []
     for flow in scenario.flows:
         seed = scenario.seed if flow.seed is None else flow.seed
@@ -560,7 +567,8 @@ def run_scenario(scenario: Scenario) -> list[FlowRecord]:
     return simulate_scenario(scenario)[0]
 
 
-def _build_topology_simulation(scenario: Scenario) -> Simulation:
+def _build_topology_simulation(scenario: Scenario,
+                               trace_cache: dict | None = None) -> Simulation:
     """Wire a multi-bottleneck scenario over its built topology.
 
     Controllers are sized per flow from the *path* the flow traverses
@@ -570,7 +578,8 @@ def _build_topology_simulation(scenario: Scenario) -> Simulation:
     spec = scenario.topology
     packet_bytes = scenario.network.packet_bytes
     topology = spec.build(packet_bytes=packet_bytes,
-                          seed=scenario.seed * 31 + 17)
+                          seed=scenario.seed * 31 + 17,
+                          trace_cache=trace_cache)
     flow_specs = []
     for flow in scenario.flows:
         seed = scenario.seed if flow.seed is None else flow.seed

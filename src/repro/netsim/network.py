@@ -63,7 +63,7 @@ from repro.netsim.rngstreams import stream_rng
 from repro.netsim.sender import ACK_BYTES, Controller, Flow, MonitorIntervalStats
 from repro.netsim.topology import Topology
 
-__all__ = ["FlowSpec", "FlowRecord", "Simulation"]
+__all__ = ["FlowSpec", "FlowRecord", "SimState", "Simulation"]
 
 #: Pacing-rate clamps (packets/second) applied when scheduling sends.
 MIN_RATE_PPS = 0.5
@@ -148,6 +148,106 @@ class FlowRecord:
         return self.mean_rtt / self.base_rtt
 
 
+class SimState:
+    """Resumable stepping core over one :class:`Simulation`'s event loop.
+
+    The mutable loop state (heap, sequence counter, clock, lifetime
+    event count) stays on the simulation object; ``SimState`` owns the
+    *loop* -- the pop/dispatch slice that :meth:`Simulation.run` used
+    to inline -- so callers can advance a cell by time slice
+    (:meth:`step_until`) or by event count (:meth:`step_events`) and
+    interleave many cells inside one process (:mod:`repro.eval.batch`).
+
+    Each step method re-hoists the loop-invariant lookups (heap,
+    handler table, ``heappop``) into locals at the top of its slice,
+    so within a slice the loop body is exactly the monolithic ``run``
+    loop.  Across slices the heap order -- and with it every handler
+    side effect -- is untouched: handlers read the clock only after a
+    pop stores the event's own timestamp, so the horizon bump at the
+    end of :meth:`step_until` can never leak into a handler.  That is
+    the whole bit-identity argument, and ``tests/test_golden_traces.py``
+    plus the batched identity grid in ``tests/test_batch.py`` pin it.
+    """
+
+    __slots__ = ("sim",)
+
+    def __init__(self, sim: "Simulation") -> None:
+        self.sim = sim
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next pending event (``None`` once drained)."""
+        heap = self.sim._heap
+        return heap[0][0] if heap else None
+
+    @property
+    def done(self) -> bool:
+        """True once no pending event lies within the cell's duration."""
+        sim = self.sim
+        heap = sim._heap
+        return not heap or heap[0][0] > sim.duration
+
+    def step_until(self, until: float | None = None) -> int:
+        """Process every event with ``time <= until`` (clamped to the
+        duration); leave the clock on the horizon.  Returns the number
+        of events processed in this slice.
+
+        The loop body is deliberately bare -- heap pop, clock store,
+        one indexed dispatch through the handler table -- with every
+        loop-invariant lookup hoisted to a local.  All handlers share
+        the ``(flow, packet)`` signature (packet ``None`` for
+        flow-level events) so dispatch needs no per-kind argument
+        shapes.
+        """
+        sim = self.sim
+        horizon = sim.duration if until is None else min(until, sim.duration)
+        heap = sim._heap
+        handlers = sim._handlers
+        pop = heapq.heappop
+        processed = 0
+        # Pop-first loop: testing the popped event against the horizon
+        # (and pushing the lone overshooting event back, key unchanged,
+        # so pop order is unaffected) is cheaper than re-reading
+        # ``heap[0][0]`` on every iteration of the hot loop.
+        while heap:
+            item = pop(heap)
+            time = item[0]
+            if time > horizon:
+                heappush(heap, item)
+                break
+            sim.now = time
+            processed += 1
+            handlers[item[2]](item[3], item[4])
+        sim.events_processed += processed
+        sim.now = max(sim.now, horizon)
+        return processed
+
+    def step_events(self, n: int) -> int:
+        """Process up to ``n`` events within the cell's duration.
+
+        Unlike :meth:`step_until` the clock is *not* advanced past the
+        last processed event, so a later slice resumes exactly where
+        this one stopped; only draining the cell (or a final
+        ``step_until``) lands the clock on the duration.
+        """
+        sim = self.sim
+        horizon = sim.duration
+        heap = sim._heap
+        handlers = sim._handlers
+        pop = heapq.heappop
+        processed = 0
+        while heap and processed < n:
+            item = pop(heap)
+            time = item[0]
+            if time > horizon:
+                heappush(heap, item)
+                break
+            sim.now = time
+            processed += 1
+            handlers[item[2]](item[3], item[4])
+        sim.events_processed += processed
+        return processed
+
+
 class Simulation:
     """Event-driven simulation of flows routed over a topology.
 
@@ -205,6 +305,9 @@ class Simulation:
             self._handle_start, self._handle_send, self._advance_packet,
             self._handle_receive, self._handle_ack, self._handle_loss,
             self._handle_ack_rto, self._handle_mi)
+        #: Resumable stepping core.  :meth:`run` is a thin delegate;
+        #: batched execution drives this directly in time slices.
+        self.state = SimState(self)
 
         #: Base RTT of the topology's default path -- the single-path
         #: quantity legacy callers (gym envs, single-flow runners) read.
@@ -255,33 +358,11 @@ class Simulation:
     def run(self, until: float | None = None) -> None:
         """Process events up to ``until`` (default: the full duration).
 
-        The loop body is deliberately bare -- heap pop, clock store,
-        one indexed dispatch through the handler table -- with every
-        loop-invariant lookup hoisted to a local.  All handlers share
-        the ``(flow, packet)`` signature (packet ``None`` for
-        flow-level events) so dispatch needs no per-kind argument
-        shapes.
+        One full-width slice of the stepping core: ``run(t)`` and any
+        sequence of ``step_until`` calls ending at ``t`` are
+        bit-identical (see :class:`SimState`).
         """
-        horizon = self.duration if until is None else min(until, self.duration)
-        heap = self._heap
-        handlers = self._handlers
-        pop = heapq.heappop
-        processed = 0
-        # Pop-first loop: testing the popped event against the horizon
-        # (and pushing the lone overshooting event back, key unchanged,
-        # so pop order is unaffected) is cheaper than re-reading
-        # ``heap[0][0]`` on every iteration of the hot loop.
-        while heap:
-            item = pop(heap)
-            time = item[0]
-            if time > horizon:
-                heappush(heap, item)
-                break
-            self.now = time
-            processed += 1
-            handlers[item[2]](item[3], item[4])
-        self.events_processed += processed
-        self.now = max(self.now, horizon)
+        self.state.step_until(until)
 
     def run_all(self) -> list[FlowRecord]:
         """Run to completion and return per-flow summaries."""

@@ -401,12 +401,20 @@ class TopologySpec:
             return max(rtts)
         return 2.0 * self._link(link_name).delay_ms / 1000.0
 
-    def build(self, packet_bytes: int = 1500, seed: int = 0) -> Topology:
-        """Instantiate live links (deterministic RNGs) and paths."""
+    def build(self, packet_bytes: int = 1500, seed: int = 0,
+              trace_cache: dict | None = None) -> Topology:
+        """Instantiate live links (deterministic RNGs) and paths.
+
+        ``trace_cache`` memoizes named-trace construction across builds
+        (frozen read-only instances; see
+        :func:`repro.netsim.traces.make_trace`) -- batched multi-cell
+        execution passes one cache for a whole batch.
+        """
         links: dict[str, Link] = {}
         for i, ld in enumerate(self.links):
             pps = mbps_to_pps(ld.bandwidth_mbps, packet_bytes)
-            trace = make_trace(ld.trace) if ld.trace else ConstantTrace(pps)
+            trace = (make_trace(ld.trace, cache=trace_cache) if ld.trace
+                     else ConstantTrace(pps))
             queue = ld.queue_packets
             if queue is None:
                 bdp = pps * self._bdp_rtt_s(ld.name)

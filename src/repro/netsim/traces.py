@@ -28,6 +28,7 @@ __all__ = [
     "RandomWalkTrace",
     "PiecewiseTrace",
     "register_trace",
+    "freeze_trace",
     "make_trace",
     "trace_names",
 ]
@@ -234,8 +235,47 @@ def register_trace(name: str, factory, overwrite: bool = False) -> None:
     _TRACE_REGISTRY[name] = factory  # replint: disable=mutable-global-state
 
 
-def make_trace(name: str) -> BandwidthTrace:
-    """Instantiate the registered trace ``name``."""
+def freeze_trace(trace: BandwidthTrace) -> BandwidthTrace:
+    """Mark a trace's array payloads read-only and return it.
+
+    Traces are pure functions of time -- nothing in the engine writes
+    to one -- so freezing is behaviourally inert; it turns the
+    shared-immutable assumption batched execution relies on
+    (:mod:`repro.eval.batch` hands one trace object to many cells)
+    into a hard fault at the would-be mutation site.
+    """
+    for value in vars(trace).values():
+        if isinstance(value, np.ndarray):
+            value.flags.writeable = False
+    return trace
+
+
+def _memoized_trace(name: str, cache: dict) -> BandwidthTrace:
+    """Shared-trace path of :func:`make_trace`: memoize and freeze.
+
+    Kept out of ``make_trace`` itself so the function signature/cache
+    fingerprinting calls (which never pass a cache) have a provably
+    pure callee -- the ``signature-purity`` replint rule checks one
+    level of call-through from ``Scenario.fingerprint``.
+    """
+    try:
+        return cache[name]
+    except KeyError:
+        trace = cache[name] = freeze_trace(make_trace(name))
+        return trace
+
+
+def make_trace(name: str, cache: dict | None = None) -> BandwidthTrace:
+    """Instantiate the registered trace ``name``.
+
+    With ``cache`` (a plain dict keyed by trace name), the instance is
+    memoized and frozen read-only on first build: registry factories
+    are deterministic, so every cell of a batch sharing ``cache`` sees
+    the same values it would have computed itself -- one build instead
+    of N, and provably no cross-cell mutation channel.
+    """
+    if cache is not None:
+        return _memoized_trace(name, cache)
     try:
         factory = _TRACE_REGISTRY[name]
     except KeyError:

@@ -1,0 +1,23 @@
+"""Known-bad batch layer: shares a mutable dict across cells, carries a
+stale allowlist entry, and mints + drains an RNG stream in the batch
+loop.  Parsed by the isolation-family tests, never imported."""
+
+import numpy as np
+
+from repro.eval.scenarios import build_scenario_simulation
+
+SHARED_REGISTRY = {}
+
+SHARED_IMMUTABLE_ALLOWLIST = (
+    ("ghost_cache", "claims a binding no cell build actually receives"),
+)
+
+
+def build_cells(scenarios):
+    rng = np.random.default_rng(0)  # minted in the batch layer
+    cells = []
+    for scenario in scenarios:
+        jitter = rng.uniform()  # drained in the batch layer
+        sim = build_scenario_simulation(scenario, SHARED_REGISTRY)
+        cells.append((sim, jitter))
+    return cells

@@ -25,7 +25,14 @@ import pytest
 
 from repro.analysis import (Analyzer, Baseline, Finding, ProjectIndex,
                             all_rules, rules_by_id)
-from repro.analysis.core import parse_suppressions
+from repro.analysis.core import default_root, parse_suppressions
+from repro.analysis.rules_batch import (
+    BatchIsolationRule,
+    BatchRngRule,
+    BatchSharedMutableRule,
+    check_batch_source,
+    check_cell_isolation,
+)
 from repro.analysis.rules_dataflow import (ENV_ALLOWLIST, EnvTaintRule,
                                            RngStreamOwnershipRule,
                                            SignaturePurityRule)
@@ -300,6 +307,91 @@ class TestDataflowRules:
                "Spec.fingerprint() calls it" in messages
 
 
+class TestIsolationRules:
+    """The batched-execution cross-cell isolation family."""
+
+    def test_shared_mutable_fires_and_reports_stale_entry(self):
+        findings = BatchSharedMutableRule().check_project(
+            FIXTURES / "proj_batch_bad")
+        messages = " | ".join(f.message for f in findings)
+        assert "'SHARED_REGISTRY' is created outside the per-cell loop" \
+            in messages
+        assert "stale SHARED_IMMUTABLE_ALLOWLIST entry 'ghost_cache'" \
+            in messages
+
+    def test_missing_allowlist_declaration_is_a_finding(self):
+        source = ("def build(scenarios, cache):\n"
+                  "    for s in scenarios:\n"
+                  "        build_scenario_simulation(s, cache)\n")
+        messages = " | ".join(f.message
+                              for f in check_batch_source(source))
+        assert "no module-level SHARED_IMMUTABLE_ALLOWLIST" in messages
+        assert "'cache'" in messages  # the unlisted shared binding too
+
+    def test_per_iteration_bindings_are_clean(self):
+        source = ("SHARED_IMMUTABLE_ALLOWLIST = ()\n"
+                  "def build(scenarios):\n"
+                  "    for s in scenarios:\n"
+                  "        cache = {}\n"  # fresh per cell: fine
+                  "        sim = build_scenario_simulation(s, cache)\n")
+        assert check_batch_source(source) == []
+
+    def test_rng_rule_fires_on_mint_and_drain(self):
+        source = (FIXTURES / "proj_batch_bad" / "eval" / "batch.py") \
+            .read_text()
+        findings = BatchRngRule().check(ast.parse(source), source,
+                                        "eval/batch.py")
+        messages = " | ".join(f.message for f in findings)
+        assert len(findings) == 2
+        assert "mints an RNG stream in the batch layer" in messages
+        assert "draws from an RNG stream in the batch layer" in messages
+
+    def test_live_batch_layer_passes_static_rules(self):
+        assert BatchSharedMutableRule().check_project(SRC_ROOT) == []
+        source = (SRC_ROOT / "eval" / "batch.py").read_text()
+        assert BatchRngRule().check(ast.parse(source), source,
+                                    "eval/batch.py") == []
+
+    def test_isolation_walker_flags_shared_dict_and_generator(self):
+        import numpy as np
+
+        class FakeState:
+            def __init__(self, shared, rng):
+                self.shared = shared
+                self.rng = rng
+
+        registry = {"x": [1]}
+        rng = np.random.default_rng(3)
+        findings = check_cell_isolation(
+            [FakeState(registry, rng), FakeState(registry, rng)])
+        messages = " | ".join(f.message for f in findings)
+        assert "mutable builtins.dict is reachable from 2 cells" in messages
+        assert "Generator is reachable from 2 cells" in messages
+        assert "cell-indexed stream" in messages
+
+    def test_isolation_walker_accepts_frozen_shared_trace(self):
+        from repro.netsim.traces import freeze_trace, make_trace
+
+        class FakeState:
+            def __init__(self, trace):
+                self.trace = trace
+                self.own = {"per-cell": []}  # mutable but unshared
+
+        trace = freeze_trace(make_trace("wifi-walk"))
+        findings = check_cell_isolation([FakeState(trace),
+                                         FakeState(trace)])
+        assert findings == []
+
+    def test_live_two_cell_probe_is_clean(self):
+        assert BatchIsolationRule().check_project(default_root()) == []
+
+    def test_probe_skips_foreign_roots(self):
+        # Fixture trees are covered by the static rules; the live probe
+        # must not attribute installed-tree results to them.
+        assert BatchIsolationRule().check_project(
+            FIXTURES / "proj_batch_bad") == []
+
+
 class TestSuppressionsAndBaseline:
     def test_inline_suppression_silences_finding(self):
         rule = rules_by_id()["unseeded-rng"]
@@ -398,16 +490,35 @@ class TestCli:
         assert proc.returncode == 0
         for family in ("determinism", "fingerprint", "engine", "rng",
                        "rng-ownership", "env-taint", "global-state",
-                       "signature-purity"):
+                       "signature-purity", "isolation"):
             assert f"{family}:" in proc.stdout
         # rule lines are indented under their family header
         assert "\n  unseeded-rng" in proc.stdout
         assert "\n  rng-stream-ownership" in proc.stdout
+        assert "\n  batch-cell-isolation" in proc.stdout
 
     def test_unknown_select_is_usage_error(self):
         proc = _run_cli("--select", "no-such-rule")
         assert proc.returncode == 2
         assert "no-such-rule" in proc.stderr
+
+    def test_select_accepts_family_glob(self):
+        proc = _run_cli("--select", "rng-*", "--list-rules")
+        assert proc.returncode == 0
+        listed = {line.split()[0] for line in proc.stdout.splitlines()
+                  if line.startswith("  ")}
+        assert listed == {"rng-foreign-draw", "rng-shared-drain",
+                          "rng-stream-ownership"}
+
+    def test_glob_matching_nothing_is_usage_error(self):
+        proc = _run_cli("--select", "zzz-*")
+        assert proc.returncode == 2
+        assert "matches no rule id" in proc.stderr
+
+    def test_ignore_glob_drops_family(self):
+        proc = _run_cli("--ignore", "batch-*", "--list-rules")
+        assert proc.returncode == 0
+        assert "isolation:" not in proc.stdout
 
     def test_script_entry_point_runs(self):
         proc = subprocess.run(
