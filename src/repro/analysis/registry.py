@@ -22,6 +22,11 @@ from repro.analysis.rules_determinism import (
     UnsortedWalkRule,
     WallClockRule,
 )
+from repro.analysis.rules_compiled import (
+    CompiledDigestRule,
+    CompiledHandlerTableRule,
+    CompiledPoolFieldsRule,
+)
 from repro.analysis.rules_engine import (
     EventTableRule,
     HeapPushRule,
@@ -47,6 +52,10 @@ _RULE_CLASSES = (
     HeapPushRule,
     SlotsAttrsRule,
     TransmitUnpackRule,
+    # compiled-core (kernel/reference engine sync)
+    CompiledPoolFieldsRule,
+    CompiledHandlerTableRule,
+    CompiledDigestRule,
     # RNG-stream discipline
     AdhocRngRule,
     # cross-module dataflow (whole-program layer)

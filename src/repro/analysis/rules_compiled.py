@@ -1,0 +1,334 @@
+"""Compiled-core invariants: the kernel engine's sync contracts.
+
+The accelerated engine (:mod:`repro.netsim.kernel`) duplicates, by
+design, two tables the reference engine owns -- the packet field set
+(the struct-of-arrays pool's ``POOL_FIELDS`` vs ``Packet.__slots__``)
+and the ``EV_*``-indexed handler table -- and promises bit-identical
+results on top.  Nothing in the interpreter keeps those copies in
+sync: adding a ``Packet`` slot without a pool array, or an event kind
+without a kernel table slot, fails deep into a run (or worse, runs and
+silently diverges).  Three rules move that to lint time:
+
+* ``compiled-pool-fields`` -- the kernel's ``POOL_FIELDS`` literal
+  must equal ``Packet.__slots__`` (order included), and ``PacketPool``
+  must cover every field: initialised in ``__init__``, ``.extend``-ed
+  **in place** in ``grow`` (a rebuild would strand the fused loop's
+  hoisted list references on the old arrays), and reset per slot in
+  ``alloc``;
+* ``compiled-handler-table`` -- the kernel's ``_handlers`` tuple must
+  register exactly one slot per ``EV_*`` kind the reference engine
+  declares;
+* ``compiled-digest`` -- live probe: one small scenario run under
+  ``engine=kernel`` must digest-identically match the reference run,
+  under both transit modes, with equal event counts.
+
+The static workers (:func:`check_pool_fields`,
+:func:`check_handler_table`) are plain source checks so the self-tests
+run them on the known-bad fixtures; the project rules feed them the
+real kernel source plus the live ``Packet.__slots__`` / EV count.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+
+from repro.analysis.core import Finding, ProjectRule, default_root
+
+__all__ = ["CompiledDigestRule", "CompiledHandlerTableRule",
+           "CompiledPoolFieldsRule", "check_handler_table",
+           "check_pool_fields"]
+
+KERNEL_RELPATH = "netsim/kernel.py"
+NETWORK_RELPATH = "netsim/network.py"
+PACKET_RELPATH = "netsim/packet.py"
+
+
+def _runtime_packet_slots() -> tuple | None:
+    """Live ``Packet.__slots__`` in declaration order (``None`` if the
+    netsim package is unimportable; analysis must not hard-require it)."""
+    try:
+        from repro.netsim.packet import Packet
+    except Exception:  # pragma: no cover - environment issue
+        return None
+    return tuple(Packet.__slots__)
+
+
+def _literal_tuple_assign(tree: ast.Module, name: str) -> ast.Assign | None:
+    """The module-level ``name = ("...", ...)`` string-tuple assign."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and node.targets[0].id == name \
+                and isinstance(node.value, ast.Tuple) \
+                and node.value.elts \
+                and all(isinstance(e, ast.Constant)
+                        and isinstance(e.value, str)
+                        for e in node.value.elts):
+            return node
+    return None
+
+
+def _self_attr_stores(fn: ast.FunctionDef) -> set:
+    """Attrs assigned as ``self.<attr> = ...`` anywhere in ``fn``."""
+    stores = set()
+    for node in ast.walk(fn):
+        targets = node.targets if isinstance(node, ast.Assign) else (
+            [node.target] if isinstance(node, (ast.AugAssign, ast.AnnAssign))
+            else [])
+        for target in targets:
+            if isinstance(target, ast.Attribute) \
+                    and isinstance(target.value, ast.Name) \
+                    and target.value.id == "self":
+                stores.add(target.attr)
+    return stores
+
+
+def _self_attr_extends(fn: ast.FunctionDef) -> set:
+    """Attrs grown in place via ``self.<attr>.extend(...)``."""
+    extends = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "extend" \
+                and isinstance(node.func.value, ast.Attribute) \
+                and isinstance(node.func.value.value, ast.Name) \
+                and node.func.value.value.id == "self":
+            extends.add(node.func.value.attr)
+    return extends
+
+
+def _self_subscript_stores(fn: ast.FunctionDef) -> set:
+    """Attrs written per slot as ``self.<attr>[idx] = ...``."""
+    stores = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Assign):
+            continue
+        for target in node.targets:
+            if isinstance(target, ast.Subscript) \
+                    and isinstance(target.value, ast.Attribute) \
+                    and isinstance(target.value.value, ast.Name) \
+                    and target.value.value.id == "self":
+                stores.add(target.value.attr)
+    return stores
+
+
+def check_pool_fields(source: str, relpath: str,
+                      packet_slots: tuple | None = None,
+                      rule_id: str = "compiled-pool-fields") -> list:
+    """Pool-field findings for one kernel-shaped module.
+
+    Expects a module-level ``POOL_FIELDS = ("...", ...)`` literal and a
+    ``PacketPool`` class; modules without the literal are not
+    kernel-shaped and yield nothing.  ``packet_slots`` is the expected
+    field tuple (the live ``Packet.__slots__`` when omitted).
+    """
+    tree = ast.parse(source)
+    findings: list[Finding] = []
+    decl = _literal_tuple_assign(tree, "POOL_FIELDS")
+    if decl is None:
+        return findings
+    fields = tuple(e.value for e in decl.value.elts)
+
+    if packet_slots is None:
+        packet_slots = _runtime_packet_slots()
+    if packet_slots is not None and fields != tuple(packet_slots):
+        missing = [s for s in packet_slots if s not in fields]
+        extra = [f for f in fields if f not in packet_slots]
+        detail = (f"missing {missing}, extra {extra}" if missing or extra
+                  else "same names, different order")
+        findings.append(Finding(
+            relpath, decl.lineno, decl.col_offset, rule_id,
+            f"POOL_FIELDS drifted from Packet.__slots__ ({detail}); the "
+            f"pool's field arrays must mirror the packet record exactly"))
+
+    pool = next((node for node in ast.walk(tree)
+                 if isinstance(node, ast.ClassDef)
+                 and node.name == "PacketPool"), None)
+    if pool is None:
+        findings.append(Finding(
+            relpath, decl.lineno, decl.col_offset, rule_id,
+            "module declares POOL_FIELDS but no PacketPool class backs "
+            "the field arrays"))
+        return findings
+    methods = {fn.name: fn for fn in pool.body
+               if isinstance(fn, ast.FunctionDef)}
+    coverage = (
+        ("__init__", _self_attr_stores,
+         "never initialised (its array is missing)"),
+        ("grow", _self_attr_extends,
+         "not .extend-ed in place (a rebuild strands the fused loop's "
+         "hoisted references on the old array)"),
+        ("alloc", _self_subscript_stores,
+         "not reset per slot (a recycled slot leaks stale state)"),
+    )
+    for name, collect, why in coverage:
+        fn = methods.get(name)
+        if fn is None:
+            findings.append(Finding(
+                relpath, pool.lineno, pool.col_offset, rule_id,
+                f"PacketPool defines no {name}() covering the field "
+                f"arrays"))
+            continue
+        missed = [f for f in fields if f not in collect(fn)]
+        if missed:
+            findings.append(Finding(
+                relpath, fn.lineno, fn.col_offset, rule_id,
+                f"PacketPool.{name}: field(s) {missed} {why}"))
+    return findings
+
+
+def check_handler_table(source: str, relpath: str, n_kinds: int,
+                        rule_id: str = "compiled-handler-table") -> list:
+    """Handler-table findings for one kernel-shaped module: the
+    ``self._handlers = (...)`` tuple must carry ``n_kinds`` slots."""
+    tree = ast.parse(source)
+    handlers = None
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Attribute) \
+                    and target.attr == "_handlers" \
+                    and isinstance(node.value, (ast.Tuple, ast.List)):
+                handlers = node
+                break
+    if handlers is None:
+        return [Finding(relpath, 1, 0, rule_id,
+                        "kernel module registers no _handlers table; the "
+                        "fused loop dispatches cold kinds through it")]
+    if len(handlers.value.elts) != n_kinds:
+        return [Finding(
+            relpath, handlers.lineno, handlers.col_offset, rule_id,
+            f"kernel _handlers registers {len(handlers.value.elts)} slots "
+            f"for the {n_kinds} EV_* kinds the reference engine declares; "
+            f"every kind needs exactly one slot at its index")]
+    return []
+
+
+def _declared_ev_count(root: Path) -> int | None:
+    """EV_* kind count from the reference engine's module-level
+    ``EV_A, EV_B, ... = range(N)`` unpack (``None`` if absent)."""
+    path = root / NETWORK_RELPATH
+    if not path.exists():
+        return None
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Tuple) and target.elts \
+                    and all(isinstance(e, ast.Name)
+                            and e.id.startswith("EV_")
+                            for e in target.elts):
+                return len(target.elts)
+    return None
+
+
+def _ast_packet_slots(root: Path) -> tuple | None:
+    """``Packet.__slots__`` read from a foreign root's own packet.py."""
+    path = root / PACKET_RELPATH
+    if not path.exists():
+        return None
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    for cls in ast.walk(tree):
+        if isinstance(cls, ast.ClassDef) and cls.name == "Packet":
+            decl = _literal_tuple_assign(
+                ast.Module(body=cls.body, type_ignores=[]), "__slots__")
+            if decl is not None:
+                return tuple(e.value for e in decl.value.elts)
+    return None
+
+
+class CompiledPoolFieldsRule(ProjectRule):
+    id = "compiled-pool-fields"
+    family = "compiled-core"
+    description = ("the kernel's POOL_FIELDS table equals "
+                   "Packet.__slots__ and every field is covered by "
+                   "PacketPool.__init__/grow/alloc")
+    anchors = (KERNEL_RELPATH, PACKET_RELPATH)
+
+    def check_project(self, root: Path) -> list:
+        path = root / KERNEL_RELPATH
+        if not path.exists():
+            return []
+        if Path(root).resolve() == default_root():
+            slots = _runtime_packet_slots()
+        else:
+            slots = _ast_packet_slots(root)
+        return check_pool_fields(path.read_text(encoding="utf-8"),
+                                 KERNEL_RELPATH, slots, self.id)
+
+
+class CompiledHandlerTableRule(ProjectRule):
+    id = "compiled-handler-table"
+    family = "compiled-core"
+    description = ("the kernel's _handlers tuple registers one slot per "
+                   "EV_* kind declared by the reference engine")
+    anchors = (KERNEL_RELPATH, NETWORK_RELPATH)
+
+    def check_project(self, root: Path) -> list:
+        path = root / KERNEL_RELPATH
+        if not path.exists():
+            return []
+        n_kinds = _declared_ev_count(root)
+        if n_kinds is None:
+            return []
+        return check_handler_table(path.read_text(encoding="utf-8"),
+                                   KERNEL_RELPATH, n_kinds, self.id)
+
+
+class CompiledDigestRule(ProjectRule):
+    id = "compiled-digest"
+    family = "compiled-core"
+    description = ("live probe: a small scenario digests identically "
+                   "under engine=kernel and the reference engine")
+    anchors = (KERNEL_RELPATH, NETWORK_RELPATH, "netsim/link.py",
+               "netsim/sender.py", "eval/scenarios.py")
+
+    def check_project(self, root: Path) -> list:
+        if Path(root).resolve() != default_root():
+            # The probe runs the *installed* package; on a foreign root
+            # it would attribute installed-tree behaviour to files that
+            # are not being analyzed.  The static compiled-core rules
+            # carry the contract there.
+            return []
+        try:
+            from repro.eval.parallel import _record_to_json
+            from repro.eval.perf import perf_scenarios
+            from repro.eval.scenarios import build_scenario_simulation
+            from repro.netsim.kernel import KERNEL_COMPILED
+        except Exception as exc:  # pragma: no cover - environment issue
+            return [Finding(KERNEL_RELPATH, 1, 0, self.id,
+                            f"digest probe could not import the engine "
+                            f"stack: {exc}")]
+
+        def run(scenario):
+            sim = build_scenario_simulation(scenario)
+            rows = [_record_to_json(r) for r in sim.run_all()]
+            blob = json.dumps(rows, sort_keys=True).encode()
+            return hashlib.sha256(blob).hexdigest(), sim.events_processed
+
+        mode = "compiled" if KERNEL_COMPILED else "interpreted"
+        findings: list[Finding] = []
+        for transit in ("event", "eager"):
+            probes = [perf_scenarios("single-bottleneck", transit=transit,
+                                     duration=0.5, seed=2,
+                                     schemes=("cubic", "bbr"),
+                                     engine=engine)[0]
+                      for engine in ("reference", "kernel")]
+            (ref_digest, ref_events), (ker_digest, ker_events) = \
+                run(probes[0]), run(probes[1])
+            if ker_digest != ref_digest:
+                findings.append(Finding(
+                    KERNEL_RELPATH, 1, 0, self.id,
+                    f"{mode} kernel diverged from the reference on the "
+                    f"probe scenario (transit={transit}): result digests "
+                    f"differ -- the bit-identity contract is broken"))
+            elif ker_events != ref_events:
+                findings.append(Finding(
+                    KERNEL_RELPATH, 1, 0, self.id,
+                    f"{mode} kernel dispatched {ker_events} events vs the "
+                    f"reference's {ref_events} on the probe scenario "
+                    f"(transit={transit}); counts must match exactly"))
+        return findings

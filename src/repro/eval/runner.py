@@ -129,15 +129,20 @@ def run_scheme(controller, network: EvalNetwork, duration: float = 30.0,
 def build_competition(controllers, network: EvalNetwork, duration: float = 60.0,
                       start_times=None, stop_times=None, seed: int = 0,
                       mi_duration: float | None = None,
-                      transit: str = "event") -> Simulation:
+                      transit: str = "event",
+                      engine: str = "reference") -> Simulation:
     """Wire several controllers sharing the bottleneck into a Simulation.
 
     The construction half of :func:`run_competition`, split out so
     callers that need the live :class:`Simulation` -- engine-speed
     profiling (:mod:`repro.eval.perf`), incremental ``run(until=...)``
     drivers -- reuse the exact seeding and sizing of the standard
-    evaluation path.
+    evaluation path.  ``engine`` selects the core
+    (:func:`repro.netsim.engine_class`): the pure-Python reference or
+    the bit-identical array-backed kernel.
     """
+    from repro.netsim import engine_class
+
     n = len(controllers)
     start_times = start_times or [0.0] * n
     stop_times = stop_times or [float("inf")] * n
@@ -145,8 +150,8 @@ def build_competition(controllers, network: EvalNetwork, duration: float = 60.0,
     specs = [FlowSpec(controller=c, packet_bytes=network.packet_bytes,
                       start_time=t0, stop_time=t1, mi_duration=mi_duration)
              for c, t0, t1 in zip(controllers, start_times, stop_times)]
-    return Simulation(link, specs, duration=duration, seed=seed,
-                      transit=transit)
+    return engine_class(engine)(link, specs, duration=duration, seed=seed,
+                                transit=transit)
 
 
 def run_competition(controllers, network: EvalNetwork, duration: float = 60.0,

@@ -37,6 +37,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.eval.runner import EvalNetwork, build_competition, scheme_factory
+from repro.netsim import engine_class
 from repro.netsim.network import FlowRecord, FlowSpec, Simulation
 from repro.netsim.topology import TopologySpec
 from repro.netsim.traces import make_trace
@@ -45,10 +46,11 @@ __all__ = ["AgentRef", "ChurnSchedule", "FlowDef", "Scenario", "ScenarioSuite",
            "build_scenario_simulation", "run_scenario", "simulate_scenario"]
 
 #: Bumped whenever scenario execution changes in a way that invalidates
-#: previously cached results.  v5: the code digest now hashes sources
-#: by relative POSIX path with LF-normalized content, so fingerprints
-#: agree across hosts (v4: event-driven per-hop forward transit).
-SCENARIO_CACHE_VERSION = "v5"
+#: previously cached results.  v6: the fingerprint payload gained the
+#: ``engine=`` axis (reference vs kernel core), so every pre-axis
+#: cached result goes stale (v5: host-portable code digest; v4:
+#: event-driven per-hop forward transit).
+SCENARIO_CACHE_VERSION = "v6"
 
 
 def _simulation_code_digest() -> str:
@@ -418,6 +420,13 @@ class Scenario:
     #: emit-time transit, kept as a comparison twin -- see
     #: :class:`repro.netsim.network.Simulation`).
     transit: str = "event"
+    #: Engine core: ``"reference"`` (the pure-Python loop, default and
+    #: source of truth) or ``"kernel"`` (the array-backed accelerated
+    #: core, bit-identical by contract -- see
+    #: :mod:`repro.netsim.kernel`).  Fingerprinted defensively: results
+    #: must never differ, but a cached row should still say which
+    #: engine produced it.
+    engine: str = "reference"
     suite: str = ""
     #: Display label of the line-up this scenario came from (set by
     #: :meth:`ScenarioSuite.expand`); lets consumers key results
@@ -434,6 +443,9 @@ class Scenario:
         if self.transit not in ("event", "eager"):
             raise ValueError(f"unknown transit mode {self.transit!r}; "
                              f"use 'event' or 'eager'")
+        if self.engine not in ("reference", "kernel"):
+            raise ValueError(f"unknown engine {self.engine!r}; "
+                             f"use 'reference' or 'kernel'")
         if self.trace is not None and self.network.trace is not None:
             raise ValueError("give either a named trace or network.trace, not both")
         if self.topology is not None:
@@ -486,6 +498,7 @@ class Scenario:
             "seed": int(self.seed),
             "mi_duration": self.mi_duration,
             "transit": self.transit,
+            "engine": self.engine,
         }
         blob = json.dumps(payload, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()
@@ -544,7 +557,8 @@ def build_scenario_simulation(scenario: Scenario,
                              start_times=starts, stop_times=stops,
                              seed=scenario.seed,
                              mi_duration=scenario.mi_duration,
-                             transit=scenario.transit)
+                             transit=scenario.transit,
+                             engine=scenario.engine)
 
 
 def simulate_scenario(scenario: Scenario) -> tuple[list[FlowRecord], Simulation]:
@@ -593,8 +607,9 @@ def _build_topology_simulation(scenario: Scenario,
             controller=controller, start_time=flow.start, stop_time=flow.stop,
             packet_bytes=packet_bytes, mi_duration=scenario.mi_duration,
             path=flow.path))
-    return Simulation(topology, flow_specs, duration=scenario.duration,
-                      seed=scenario.seed, transit=scenario.transit)
+    return engine_class(scenario.engine)(
+        topology, flow_specs, duration=scenario.duration,
+        seed=scenario.seed, transit=scenario.transit)
 
 
 def _coerce_lineups(lineups) -> tuple:
@@ -651,7 +666,11 @@ class ScenarioSuite:
     * ``transits`` -- hop-transit schemes (``"event"`` and/or
       ``"eager"``): pairing both runs every cell under the per-hop
       event engine *and* its eager emit-time twin, the grid shape the
-      shared-hop divergence benchmarks diff.
+      shared-hop divergence benchmarks diff;
+    * ``engines`` -- engine cores (``"reference"`` and/or
+      ``"kernel"``): pairing both runs every cell under the pure-Python
+      reference loop *and* the array-backed kernel, the grid shape the
+      bit-identity gate diffs.
 
     ``expand()`` returns the cross product as concrete
     :class:`Scenario` objects with stable, human-readable names.
@@ -668,6 +687,7 @@ class ScenarioSuite:
     reverse_paths: tuple = (None,)
     churns: tuple = (None,)
     transits: tuple = ("event",)
+    engines: tuple = ("reference",)
     seeds: tuple = (0,)
     duration: float = 20.0
     mi_duration: float | None = None
@@ -677,7 +697,7 @@ class ScenarioSuite:
         object.__setattr__(self, "lineups", _coerce_lineups(self.lineups))
         for axis in ("bandwidths_mbps", "rtts_ms", "losses", "buffers",
                      "traces", "topologies", "reverse_paths", "churns",
-                     "transits", "seeds"):
+                     "transits", "engines", "seeds"):
             object.__setattr__(self, axis, tuple(getattr(self, axis)))
         if any(rev is not None for rev in self.reverse_paths) and \
                 any(topo is None for topo in self.topologies):
@@ -689,7 +709,8 @@ class ScenarioSuite:
         return (len(self.lineups) * len(self.bandwidths_mbps) * len(self.rtts_ms)
                 * len(self.losses) * len(self.buffers) * len(self.traces)
                 * len(self.topologies) * len(self.reverse_paths)
-                * len(self.churns) * len(self.transits) * len(self.seeds))
+                * len(self.churns) * len(self.transits)
+                * len(self.engines) * len(self.seeds))
 
     def _network(self, bandwidth, rtt, loss, buffer, trace) -> EvalNetwork:
         is_packets = isinstance(buffer, (int, np.integer)) and not isinstance(buffer, bool)
@@ -705,13 +726,15 @@ class ScenarioSuite:
                 ("loss", self.losses), ("buf", self.buffers),
                 ("trace", self.traces), ("topo", self.topologies),
                 ("rev", self.reverse_paths), ("churn", self.churns),
-                ("transit", self.transits), ("seed", self.seeds)]
+                ("transit", self.transits), ("engine", self.engines),
+                ("seed", self.seeds)]
         varying = {label for label, values in axes if len(values) > 1}
         for (label, flows), bw, rtt, loss, buf, trace, topo, rev, churn, \
-                transit, seed in product(
+                transit, engine, seed in product(
                 self.lineups, self.bandwidths_mbps, self.rtts_ms, self.losses,
                 self.buffers, self.traces, self.topologies,
-                self.reverse_paths, self.churns, self.transits, self.seeds):
+                self.reverse_paths, self.churns, self.transits,
+                self.engines, self.seeds):
             if rev is not None:
                 topo = topo.with_reverse_paths(rev)
             parts = [label]
@@ -720,9 +743,9 @@ class ScenarioSuite:
                       "topo": topo.name if topo is not None else None,
                       "rev": _reverse_label(rev),
                       "churn": churn.label() if churn is not None else None,
-                      "transit": transit, "seed": seed}
+                      "transit": transit, "engine": engine, "seed": seed}
             for axis in ("bw", "rtt", "loss", "buf", "trace", "topo",
-                         "rev", "churn", "transit", "seed"):
+                         "rev", "churn", "transit", "engine", "seed"):
                 if axis in varying:
                     parts.append(f"{axis}={values[axis]}")
             scenarios.append(Scenario(
@@ -731,7 +754,7 @@ class ScenarioSuite:
                 flows=flows, duration=self.duration, seed=int(seed),
                 mi_duration=self.mi_duration,
                 trace=None if topo is not None else trace,
-                topology=topo, churn=churn, transit=transit,
+                topology=topo, churn=churn, transit=transit, engine=engine,
                 suite=self.name, lineup=label))
         return scenarios
 

@@ -1,0 +1,1161 @@
+"""Opt-in accelerated engine core (``engine="kernel"``).
+
+:class:`KernelSimulation` is an alternative engine core selected
+per-scenario through the fingerprinted ``engine=`` axis (mirroring
+``transit=``); the pure-Python :class:`~repro.netsim.network.SimState`
+loop remains the default and the *reference*.  The kernel produces the
+**exact same event stream** as the reference engine -- every heap push
+happens with the same timestamp, the same tie-breaking sequence number
+and the same RNG draw order -- so its results are bit-identical, and
+``tests/test_kernel.py`` pins that for every perf shape under both
+transit modes in solo, stepped and batched execution.
+
+What changes is *how* that stream is computed:
+
+* **Array-backed packet pool.**  Per-:class:`~repro.netsim.packet.Packet`
+  allocation is replaced by :class:`PacketPool`: one parallel field
+  array per ``Packet`` slot (:data:`POOL_FIELDS` mirrors
+  ``Packet.__slots__`` -- replint's ``compiled-pool-fields`` rule keeps
+  the two tables in sync) plus a LIFO freelist of integer slot
+  indices.  Heap entries carry the slot index where the reference
+  carries the packet object; controller callbacks receive a read-only
+  :class:`PacketView` flyweight over the same storage.
+
+* **Fused dispatch loop.**  :class:`KernelSimState` replaces the
+  table-dispatch loop with one flat drain in which the hot handlers
+  (send, hop, receive, ack, loss) are inlined and every loop-invariant
+  lookup -- the heap, the pool's field arrays, the per-link state
+  arrays, the RNG jitter block -- is hoisted into a local.  Cold kinds
+  (start, monitor-interval, ack-RTO) still dispatch through the
+  ``_handlers`` table.
+
+* **Array-backed link state.**  Mutable queue state (``busy_until``,
+  ``last_arrival``, counters) and the per-offer constants (cached
+  rate, drop threshold, delay, loss rate, the bound loss-draw and
+  trace lookups) live in parallel arrays indexed by link; the inlined
+  transmit is a line-by-line port of :meth:`Link.transmit`.  Arrays
+  are re-read from the ``Link`` objects at the top of every step slice
+  and written back at the end (:meth:`KernelSimulation._sync_links`),
+  so external reads/mutations of link state are honoured at slice
+  boundaries -- mid-slice mutation from a controller callback is the
+  one thing the kernel does not support.
+
+* **Preallocated RNG dither blocks.**  The send-pacing jitter block is
+  drained through loop locals; the hop-dither block and the per-link
+  loss draws go through the same generators, in the same order, as
+  the reference (block draws are element-wise identical to scalar
+  draws on the same bitstream).
+
+Slot lifetime
+-------------
+A pool slot is released exactly once:
+
+* a delivered packet's slot is freed at the end of its ``ack`` event;
+* a lost packet's slot is freed at the end of its ``loss`` event;
+* a packet whose *acknowledgement* was dropped parks its slot in
+  ``flow.pending_acks`` (seq -> slot index here, seq -> ``Packet``
+  in the reference) and the slot is freed only by its ``rto`` event --
+  whether that event finds the packet still parked (genuine timeout)
+  or already recovered by a later cumulative ack (stale no-op).  This
+  is what makes slot reuse safe: an outstanding ``rto`` event always
+  refers to a slot that has not been recycled, so it can never read
+  another packet's sequence number and corrupt ``pending_acks``.
+
+Slots still in flight when the simulation ends are simply not
+recycled; the pool is per-simulation and dies with it.
+
+Compilation
+-----------
+The module is written to be compiled with mypyc (``setup.py`` builds
+it when ``REPRO_KERNEL_COMPILE=1`` and mypy is installed); uncompiled,
+the same module runs as plain Python, so ``engine="kernel"`` works --
+and is substantially faster than the reference -- everywhere.
+:data:`KERNEL_COMPILED` reports which variant is loaded, and replint's
+``compiled-digest`` rule re-checks the bit-identity contract against
+the reference engine on the live build.
+
+Limitations (all loud, none silent): ``keep_packets`` flows are
+rejected at construction (pool slots are recycled, so packets cannot
+be retained), and ``flow.pending_acks`` holds slot indices rather
+than packets while a kernel simulation runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from heapq import heappush
+
+import numpy as np
+
+from repro.netsim.network import (
+    ACK_RTO_FACTOR,
+    EV_ACK,
+    EV_HOP,
+    EV_LOSS,
+    EV_RCV,
+    EV_RTO,
+    EV_SEND,
+    HOP_JITTER_FACTOR,
+    MIN_MI_DURATION,
+    MIN_RATE_PPS,
+    RNG_BLOCK,
+    SimState,
+    Simulation,
+)
+from repro.netsim.packet import Packet
+
+try:  # pragma: no cover - exercised only under a compiled build
+    from mypy_extensions import mypyc_attr
+except ImportError:  # pure-Python fallback: the decorator is a no-op
+    def mypyc_attr(*_args, **_kwargs):
+        def deco(cls):
+            return cls
+        return deco
+
+__all__ = ["KERNEL_COMPILED", "POOL_FIELDS", "PacketPool", "PacketView",
+           "KernelSimState", "KernelSimulation"]
+
+#: True when this module is running as a compiled extension (mypyc
+#: rewrites ``__file__`` to the shared object).
+KERNEL_COMPILED = not __file__.endswith(".py")
+
+#: The packet pool's field table, one parallel array per field, in
+#: declaration order.  This tuple must stay identical to
+#: ``Packet.__slots__`` -- replint's ``compiled-pool-fields`` rule
+#: compares the two and fails the build when they drift.
+POOL_FIELDS = ("flow_id", "seq", "send_time", "size_bytes",
+               "arrival_time", "ack_time", "dropped", "drop_kind",
+               "queue_delay", "ack_queue_delay", "hop", "reversing",
+               "ack_dropped", "ack_recovered")
+
+#: Initial pool capacity (slots); the pool doubles when exhausted.
+POOL_INITIAL_CAPACITY = 256
+
+_PACKET_DOC_FIELDS = Packet.__slots__  # imported for the doc/tests only
+
+
+class PacketPool:
+    """Struct-of-arrays packet storage with a LIFO freelist.
+
+    One Python list per :data:`POOL_FIELDS` entry, plus ``free`` (the
+    stack of unallocated slot indices) and ``capacity``.  The freelist
+    is initialised high-to-low so the first allocation returns slot 0
+    and a fresh pool allocates slots in increasing order -- which also
+    makes recycle order a pure function of the event stream, i.e.
+    deterministic (``tests/test_kernel.py`` pins it).
+
+    The hot paths in :class:`KernelSimState` index the field lists
+    directly; :meth:`alloc`/:meth:`release` exist for cold callers and
+    tests, and :meth:`grow` extends every array **in place** so that
+    hoisted local references stay valid.
+    """
+
+    __slots__ = POOL_FIELDS + ("free", "capacity")
+
+    def __init__(self, capacity: int = POOL_INITIAL_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError("pool capacity must be positive")
+        cap = int(capacity)
+        self.capacity = cap
+        self.flow_id = [0] * cap
+        self.seq = [0] * cap
+        self.send_time = [0.0] * cap
+        self.size_bytes = [0] * cap
+        self.arrival_time: list = [None] * cap
+        self.ack_time: list = [None] * cap
+        self.dropped = [False] * cap
+        self.drop_kind: list = [None] * cap
+        self.queue_delay = [0.0] * cap
+        self.ack_queue_delay = [0.0] * cap
+        self.hop = [0] * cap
+        self.reversing = [False] * cap
+        self.ack_dropped = [False] * cap
+        self.ack_recovered = [False] * cap
+        self.free = list(range(cap - 1, -1, -1))
+
+    def grow(self) -> None:
+        """Double the capacity, extending every field array in place."""
+        cap = self.capacity
+        pad_f = [0.0] * cap
+        pad_i = [0] * cap
+        pad_n = [None] * cap
+        pad_b = [False] * cap
+        self.flow_id.extend(pad_i)
+        self.seq.extend(pad_i)
+        self.send_time.extend(pad_f)
+        self.size_bytes.extend(pad_i)
+        self.arrival_time.extend(pad_n)
+        self.ack_time.extend(pad_n)
+        self.dropped.extend(pad_b)
+        self.drop_kind.extend(pad_n)
+        self.queue_delay.extend(pad_f)
+        self.ack_queue_delay.extend(pad_f)
+        self.hop.extend(pad_i)
+        self.reversing.extend(pad_b)
+        self.ack_dropped.extend(pad_b)
+        self.ack_recovered.extend(pad_b)
+        # New slots stacked so the next alloc returns index ``cap``
+        # (lowest fresh slot first, matching the initial fill order).
+        self.free.extend(range(2 * cap - 1, cap - 1, -1))
+        self.capacity = 2 * cap
+
+    def in_use(self) -> int:
+        """Number of currently allocated slots."""
+        return self.capacity - len(self.free)
+
+    def alloc(self, flow_id: int, seq: int, send_time: float,
+              size_bytes: int) -> int:
+        """Allocate a slot with the four constructor fields set and the
+        remaining fields at their ``Packet`` defaults (cold-path /
+        test helper; the engine inlines this)."""
+        free = self.free
+        if not free:
+            self.grow()
+        idx = free.pop()
+        self.flow_id[idx] = flow_id
+        self.seq[idx] = seq
+        self.send_time[idx] = send_time
+        self.size_bytes[idx] = size_bytes
+        self.arrival_time[idx] = None
+        self.ack_time[idx] = None
+        self.dropped[idx] = False
+        self.drop_kind[idx] = None
+        self.queue_delay[idx] = 0.0
+        self.ack_queue_delay[idx] = 0.0
+        self.hop[idx] = 0
+        self.reversing[idx] = False
+        self.ack_dropped[idx] = False
+        self.ack_recovered[idx] = False
+        return idx
+
+    def release(self, idx: int) -> None:
+        """Return a slot to the freelist (cold-path / test helper)."""
+        self.free.append(idx)
+
+    def field_array(self, name: str) -> np.ndarray:
+        """Diagnostic numpy view of one numeric field array.
+
+        Object-typed fields (``arrival_time``, ``ack_time``,
+        ``drop_kind``) come back as ``dtype=object``; everything else
+        as the natural numeric dtype.  For inspection only -- the hot
+        path works on the plain lists.
+        """
+        if name not in POOL_FIELDS:
+            raise KeyError(f"unknown pool field {name!r}; "
+                           f"fields are {POOL_FIELDS}")
+        values = getattr(self, name)
+        if name in ("arrival_time", "ack_time", "drop_kind"):
+            return np.array(values, dtype=object)
+        return np.array(values)
+
+
+class PacketView:
+    """Read-only flyweight presenting one pool slot as a ``Packet``.
+
+    Controller callbacks (``on_ack``/``on_loss``) receive one of these
+    instead of a :class:`~repro.netsim.packet.Packet`; every property
+    reads through to the pool's field arrays, so the view is always
+    current and costs one integer store to retarget.  There are
+    deliberately **no setters**: a controller writing packet state
+    would silently diverge from the reference engine, so it fails
+    loudly here instead.
+    """
+
+    __slots__ = ("_pool", "_idx")
+
+    def __init__(self, pool: PacketPool, idx: int = 0) -> None:
+        self._pool = pool
+        self._idx = idx
+
+    @property
+    def flow_id(self) -> int:
+        return self._pool.flow_id[self._idx]
+
+    @property
+    def seq(self) -> int:
+        return self._pool.seq[self._idx]
+
+    @property
+    def send_time(self) -> float:
+        return self._pool.send_time[self._idx]
+
+    @property
+    def size_bytes(self) -> int:
+        return self._pool.size_bytes[self._idx]
+
+    @property
+    def arrival_time(self):
+        return self._pool.arrival_time[self._idx]
+
+    @property
+    def ack_time(self):
+        return self._pool.ack_time[self._idx]
+
+    @property
+    def dropped(self) -> bool:
+        return self._pool.dropped[self._idx]
+
+    @property
+    def drop_kind(self):
+        return self._pool.drop_kind[self._idx]
+
+    @property
+    def queue_delay(self) -> float:
+        return self._pool.queue_delay[self._idx]
+
+    @property
+    def ack_queue_delay(self) -> float:
+        return self._pool.ack_queue_delay[self._idx]
+
+    @property
+    def hop(self) -> int:
+        return self._pool.hop[self._idx]
+
+    @property
+    def reversing(self) -> bool:
+        return self._pool.reversing[self._idx]
+
+    @property
+    def ack_dropped(self) -> bool:
+        return self._pool.ack_dropped[self._idx]
+
+    @property
+    def ack_recovered(self) -> bool:
+        return self._pool.ack_recovered[self._idx]
+
+    @property
+    def rtt(self):
+        """Round-trip time, if the packet was acknowledged."""
+        ack = self._pool.ack_time[self._idx]
+        if ack is None:
+            return None
+        return ack - self._pool.send_time[self._idx]
+
+    def __repr__(self) -> str:  # mirrors Packet.__repr__
+        state = "dropped" if self.dropped else (
+            "acked" if self.ack_time is not None else "inflight")
+        return (f"PacketView(flow_id={self.flow_id}, seq={self.seq}, "
+                f"send_time={self.send_time}, {state})")
+
+
+@mypyc_attr(native_class=False)
+class KernelSimState(SimState):
+    """Stepping core with the kernel's fused dispatch loop.
+
+    Same contract as :class:`~repro.netsim.network.SimState` --
+    ``step_until``/``step_events`` slicing is bit-identical to one
+    monolithic run -- plus link-array refresh/write-back at the slice
+    boundaries so external readers see coherent ``Link`` objects
+    between slices.
+    """
+
+    __slots__ = ()
+
+    def step_until(self, until: float | None = None) -> int:
+        sim = self.sim
+        horizon = sim.duration if until is None else min(until, sim.duration)
+        sim._k_refresh_links()
+        processed = self._drain(horizon, -1)
+        sim.events_processed += processed
+        if sim.now < horizon:
+            sim.now = horizon
+        sim._sync_links()
+        return processed
+
+    def step_events(self, n: int) -> int:
+        sim = self.sim
+        if n <= 0:
+            return 0
+        sim._k_refresh_links()
+        processed = self._drain(sim.duration, n)
+        sim.events_processed += processed
+        sim._sync_links()
+        return processed
+
+    def _drain(self, horizon: float, limit: int) -> int:
+        """Pop-and-dispatch until the horizon (or ``limit`` events;
+        ``-1`` = unbounded).
+
+        This is the reference loop of ``SimState.step_until`` with the
+        hot handlers inlined.  Inlined bodies are line-by-line ports
+        of the reference handlers (``_handle_send``, ``_advance_packet``
+        + ``Link.transmit`` + ``_dither_arrival``, ``_handle_receive``,
+        ``_handle_ack``, ``_handle_loss``); every arithmetic expression
+        keeps the reference's operand order so the floats cannot move.
+        ``min``/``max`` builtin calls are replaced by two-way
+        conditionals with identical semantics on every value the
+        engine produces.  Cold kinds (start, MI, ack-RTO) dispatch
+        through the handler table.
+
+        Local-hoisting note: list/array objects (heap, pool fields,
+        link arrays) are safe to hoist because they are only ever
+        mutated in place; the one *scalar* stream hoisted into locals
+        is the send-jitter block cursor, which no out-of-line callee
+        touches (the hop-dither and loss streams are accessed through
+        ``sim`` attributes precisely because cold-path methods share
+        them).
+        """
+        sim = self.sim
+        heap = sim._heap
+        handlers = sim._handlers
+        pop = heapq.heappop
+        push = heappush
+        pool = sim._pool
+        pool_free = pool.free
+        view = sim._view
+        p_fid = pool.flow_id
+        p_seq = pool.seq
+        p_stime = pool.send_time
+        p_size = pool.size_bytes
+        p_arrival = pool.arrival_time
+        p_ack = pool.ack_time
+        p_dropped = pool.dropped
+        p_dkind = pool.drop_kind
+        p_qdelay = pool.queue_delay
+        p_aqdelay = pool.ack_queue_delay
+        p_hop = pool.hop
+        p_rev = pool.reversing
+        p_adrop = pool.ack_dropped
+        p_arec = pool.ack_recovered
+        lk_busy = sim._lk_busy
+        lk_last = sim._lk_last
+        lk_rate = sim._lk_rate
+        lk_bw = sim._lk_bw
+        lk_thresh = sim._lk_thresh
+        lk_delay = sim._lk_delay
+        lk_loss = sim._lk_loss
+        lk_draw = sim._lk_draw
+        lk_pure = sim._lk_pure
+        lk_deliv = sim._lk_deliv
+        lk_dropbuf = sim._lk_dropbuf
+        lk_droprand = sim._lk_droprand
+        lk_reord = sim._lk_reord
+        eager = sim._eager
+        jit = sim.jitter
+        hop_jit = sim.hop_jitter
+        rng_random = sim.rng.random
+        jbuf = sim._jitter_buf
+        jpos = sim._jitter_pos
+        ev_send = EV_SEND
+        ev_hop = EV_HOP
+        ev_rcv = EV_RCV
+        ev_ack = EV_ACK
+        ev_loss = EV_LOSS
+        min_rate = MIN_RATE_PPS
+        min_mi = MIN_MI_DURATION
+        rng_block = RNG_BLOCK
+        processed = 0
+        while heap and processed != limit:
+            item = pop(heap)
+            time, _sq, kind, flow, arg = item
+            if time > horizon:
+                push(heap, item)
+                break
+            sim.now = time
+            processed += 1
+            if kind == ev_send:
+                flow.send_scheduled = False
+                if flow.stopped or time >= flow.stop_time:
+                    continue
+                aidx = -1
+                stime = -1.0
+                if flow.is_window:
+                    cwnd = flow.cwnd_fn(time)
+                    if flow.inflight >= cwnd:
+                        continue  # re-armed by the next ack/loss
+                    window = True
+                    emit = True
+                else:
+                    window = False
+                    rate = flow.pacing_fn(time)
+                    if rate < min_rate:
+                        rate = min_rate
+                    mr = flow.max_rate
+                    if rate > mr:
+                        rate = mr
+                    cap_fn = flow.cap_fn
+                    emit = True
+                    if cap_fn is not None:
+                        cap = cap_fn(time)
+                        if cap is not None and flow.inflight >= cap:
+                            emit = False
+                if emit:
+                    # _emit_packet: pool slot alloc + note_sent inline.
+                    if not pool_free:
+                        pool.grow()
+                    idx = pool_free.pop()
+                    sq = flow.next_seq
+                    flow.next_seq = sq + 1
+                    p_fid[idx] = flow.flow_id
+                    p_seq[idx] = sq
+                    p_stime[idx] = time
+                    p_size[idx] = flow.packet_bytes
+                    p_arrival[idx] = None
+                    p_ack[idx] = None
+                    p_dropped[idx] = False
+                    p_dkind[idx] = None
+                    p_qdelay[idx] = 0.0
+                    p_aqdelay[idx] = 0.0
+                    p_hop[idx] = 0
+                    p_rev[idx] = False
+                    p_adrop[idx] = False
+                    p_arec[idx] = False
+                    flow.total_sent += 1
+                    flow.mi_sent += 1
+                    flow.inflight += 1
+                    if time > flow.last_event_time:
+                        flow.last_event_time = time
+                    if eager:
+                        sim._k_emit_eager(flow, idx)
+                    else:
+                        aidx = idx  # hop 0 advances synchronously below
+                if window:
+                    if flow.inflight < cwnd:
+                        # Pace the remaining window over one smoothed
+                        # RTT (srtt or max(base_rtt, MIN_MI_DURATION)).
+                        srtt = flow.srtt
+                        if not srtt:
+                            base = flow.base_rtt
+                            srtt = base if base > min_mi else min_mi
+                        stime = time + srtt / (cwnd if cwnd > 1.0 else 1.0)
+                else:
+                    # Send-pacing jitter, served from the hoisted block.
+                    if jbuf is None or jpos >= rng_block:
+                        jbuf = sim._jitter_buf = rng_random(rng_block).tolist()
+                        jpos = 0
+                    u = jbuf[jpos]
+                    jpos += 1
+                    stime = time + (1.0 / rate) * (1.0 + jit * (u - 0.5))
+            elif kind == ev_rcv:
+                idx = arg
+                if eager:
+                    sim._k_receive_eager(flow, idx)
+                    continue
+                p_rev[idx] = True
+                pure = flow.pure_return_delay
+                if pure is not None:
+                    # Dominant shape: single pure-propagation return.
+                    p_hop[idx] = 1
+                    cursor = time + pure
+                    seq = sim._seq + 1
+                    sim._seq = seq
+                    if p_dropped[idx]:
+                        push(heap, (cursor, seq, EV_LOSS, flow, idx))
+                    else:
+                        p_ack[idx] = cursor
+                        push(heap, (cursor, seq, EV_ACK, flow, idx))
+                    continue
+                p_hop[idx] = 0
+                sim._k_advance_reverse(flow, idx)
+                continue
+            elif kind == ev_ack:
+                idx = arg
+                if flow.pending_acks:
+                    sim._k_recover_pending(flow, p_seq[idx])
+                # note_ack inline.
+                flow.total_acked += 1
+                flow.mi_acked += 1
+                infl = flow.inflight - 1
+                flow.inflight = infl if infl > 0 else 0
+                if time > flow.last_event_time:
+                    flow.last_event_time = time
+                rtt = time - p_stime[idx]
+                flow.last_rtt = rtt
+                srtt = flow.srtt
+                flow.srtt = rtt if srtt is None else 0.875 * srtt + 0.125 * rtt
+                ms = flow.min_rtt_seen
+                if ms is None or rtt < ms:
+                    flow.min_rtt_seen = rtt
+                flow._mi_times.append(time)
+                flow._mi_rtts.append(rtt)
+                if rtt < flow._mi_min_rtt:
+                    flow._mi_min_rtt = rtt
+                cb = flow.on_ack_cb
+                if cb is not None:
+                    view._idx = idx
+                    cb(flow, view, time)
+                # _clock_window inline (ack-clocking).
+                if flow.is_window and not flow.stopped \
+                        and flow.inflight < flow.cwnd_fn(time):
+                    if not flow.send_scheduled and time < flow.stop_time:
+                        flow.send_scheduled = True
+                        seq = sim._seq + 1
+                        sim._seq = seq
+                        push(heap, (time, seq, EV_SEND, flow, None))
+                pool_free.append(idx)  # round trip complete
+                continue
+            elif kind == ev_hop:
+                idx = arg
+                if p_rev[idx]:
+                    sim._k_advance_reverse(flow, idx)
+                    continue
+                aidx = idx
+                stime = -1.0
+            elif kind == ev_loss:
+                idx = arg
+                # A loss notice is cumulative feedback: recover parked
+                # acks below the gap, then account the loss.
+                if flow.pending_acks:
+                    sim._k_recover_pending(flow, p_seq[idx])
+                flow.total_lost += 1
+                flow.mi_lost += 1
+                infl = flow.inflight - 1
+                flow.inflight = infl if infl > 0 else 0
+                if time > flow.last_event_time:
+                    flow.last_event_time = time
+                cb = flow.on_loss_cb
+                if cb is not None:
+                    view._idx = idx
+                    cb(flow, view, time)
+                if flow.is_window and not flow.stopped \
+                        and flow.inflight < flow.cwnd_fn(time):
+                    if not flow.send_scheduled and time < flow.stop_time:
+                        flow.send_scheduled = True
+                        seq = sim._seq + 1
+                        sim._seq = seq
+                        push(heap, (time, seq, EV_SEND, flow, None))
+                pool_free.append(idx)
+                continue
+            else:
+                # Cold kinds: start, monitor interval, ack-RTO.  None
+                # of these touches the hoisted jitter cursor.
+                handlers[kind](flow, arg)
+                continue
+
+            # --- shared forward advance (reached from send/hop only) --
+            # _advance_packet with Link.transmit and _dither_arrival
+            # inlined; runs *before* the send gets scheduled so heap
+            # sequence numbers are allocated in reference order.
+            if aidx >= 0:
+                hop = p_hop[aidx]
+                j = flow.k_fwd[hop]
+                pure = lk_pure[j]
+                if pure is not None:
+                    # PropagationLink.transmit: stateless, no counters.
+                    qd = 0.0
+                    depart = time + pure
+                    delivered = True
+                else:
+                    last = lk_last[j]
+                    if time < last - 1e-12:
+                        lk_reord[j] += 1
+                    if time > last:
+                        lk_last[j] = time
+                    rate = lk_rate[j]
+                    if rate is None:
+                        rate = lk_bw[j](time)
+                    b = lk_busy[j]
+                    qd = b - time
+                    if qd < 0.0:
+                        qd = 0.0
+                    if qd * rate >= lk_thresh[j]:
+                        lk_dropbuf[j] += 1
+                        delivered = False
+                        p_qdelay[aidx] += qd
+                        p_dropped[aidx] = True
+                        p_dkind[aidx] = "buffer"
+                        # Buffer drop never occupies the queue: charge
+                        # the timing a packet just behind it would see.
+                        sim._k_forward_drop(flow, aidx, hop,
+                                            time + qd + lk_delay[j])
+                    else:
+                        service = 1.0 / rate
+                        lk_busy[j] = (b if b > time else time) + service
+                        depart = time + qd + service + lk_delay[j]
+                        loss = lk_loss[j]
+                        if loss > 0.0 and lk_draw[j]() < loss:
+                            lk_droprand[j] += 1
+                            delivered = False
+                            p_qdelay[aidx] += qd
+                            p_dropped[aidx] = True
+                            p_dkind[aidx] = "random"
+                            # Wire drop: normal queue+service+prop
+                            # timing downstream of the drop.
+                            sim._k_forward_drop(flow, aidx, hop, depart)
+                        else:
+                            lk_deliv[j] += 1
+                            delivered = True
+                if delivered:
+                    p_qdelay[aidx] += qd
+                    hop += 1
+                    p_hop[aidx] = hop
+                    seq = sim._seq + 1
+                    sim._seq = seq
+                    if hop < flow.n_links:
+                        # _dither_arrival inline (forward, size 1.0).
+                        if hop_jit > 0.0:
+                            nj = flow.k_fwd[hop]
+                            r2 = lk_rate[nj]
+                            if r2 is None:
+                                r2 = lk_bw[nj](depart)
+                            hpos = sim._hop_pos
+                            hbuf = sim._hop_buf
+                            if hbuf is None or hpos >= rng_block:
+                                hbuf = sim._hop_buf = \
+                                    sim._hop_rng.random(rng_block).tolist()
+                                hpos = 0
+                            sim._hop_pos = hpos + 1
+                            arrival = depart + hop_jit * hbuf[hpos] * (1.0 / r2)
+                        else:
+                            arrival = depart
+                        floors = flow.fwd_hop_floor
+                        floor = floors[hop]
+                        if arrival > floor:
+                            floors[hop] = arrival
+                        else:
+                            arrival = floor
+                        push(heap, (arrival, seq, EV_HOP, flow, aidx))
+                    else:
+                        p_arrival[aidx] = depart
+                        push(heap, (depart, seq, EV_RCV, flow, aidx))
+
+            # --- deferred _schedule_send (send events only) ----------
+            if stime >= 0.0:
+                if not (flow.send_scheduled or flow.stopped) \
+                        and stime < flow.stop_time:
+                    flow.send_scheduled = True
+                    seq = sim._seq + 1
+                    sim._seq = seq
+                    push(heap, (stime if stime > time else time, seq,
+                                EV_SEND, flow, None))
+        sim._jitter_buf = jbuf
+        sim._jitter_pos = jpos
+        return processed
+
+
+@mypyc_attr(native_class=False)
+class KernelSimulation(Simulation):
+    """Drop-in :class:`~repro.netsim.network.Simulation` running on the
+    array-backed kernel core.
+
+    Constructed exactly like the reference (``engine_class("kernel")``
+    resolves to this class); ``run``/``run_all``/``summary`` and the
+    :class:`SimState` stepping interface are inherited unchanged --
+    only the stepping core and the packet/link storage differ.
+    ``events_processed`` counts the same events as the reference: the
+    kernel never elides or merges an event, which is also why its
+    digests cannot move.
+    """
+
+    def __init__(self, links, specs, duration, seed: int = 0,
+                 jitter: float = 0.02, transit: str = "event",
+                 hop_jitter: float = HOP_JITTER_FACTOR):
+        for spec in specs:
+            if spec.keep_packets:
+                raise ValueError(
+                    "engine='kernel' recycles packet slots and cannot "
+                    "retain per-packet records; use the reference "
+                    "engine for keep_packets flows")
+        super().__init__(links, specs, duration, seed=seed, jitter=jitter,
+                         transit=transit, hop_jitter=hop_jitter)
+        self._pool = PacketPool()
+        self._view = PacketView(self._pool)
+        self._k_bind_links()
+        for flow in self.flows:
+            flow.k_fwd = tuple(self._k_index[id(link)]
+                               for link in flow.links)
+            flow.k_rev = tuple(self._k_index[id(link)]
+                               for link in flow.reverse_links)
+        # Handler table: cold kinds dispatch normally; hot kinds are
+        # inlined in KernelSimState._drain and their table slots fail
+        # loudly if something drives this simulation through the base
+        # SimState loop (which would mis-read pool indices as packets).
+        self._handlers = (
+            self._handle_start, self._k_fused_only, self._k_fused_only,
+            self._k_fused_only, self._k_fused_only, self._k_fused_only,
+            self._k_handle_rto, self._handle_mi)
+        self.state = KernelSimState(self)
+
+    # --- link-state arrays ------------------------------------------------
+
+    def _k_bind_links(self) -> None:
+        """Index every link reachable from any flow (forward or
+        reverse, including per-path pure-propagation pseudo-links that
+        are not in ``topology.all_links()``) and build the parallel
+        state arrays."""
+        ordered: list = []
+        index: dict[int, int] = {}
+        for link in self.links:
+            if id(link) not in index:
+                index[id(link)] = len(ordered)
+                ordered.append(link)
+        for flow in self.flows:
+            for link in flow.links:
+                if id(link) not in index:
+                    index[id(link)] = len(ordered)
+                    ordered.append(link)
+            for link in flow.reverse_links:
+                if id(link) not in index:
+                    index[id(link)] = len(ordered)
+                    ordered.append(link)
+        self._k_links = ordered
+        self._k_index = index
+        n = len(ordered)
+        self._lk_busy = [0.0] * n
+        self._lk_last = [0.0] * n
+        self._lk_rate: list = [None] * n
+        self._lk_bw: list = [None] * n
+        self._lk_thresh = [0.0] * n
+        self._lk_delay = [0.0] * n
+        self._lk_loss = [0.0] * n
+        self._lk_draw: list = [None] * n
+        self._lk_pure: list = [None] * n
+        self._lk_deliv = [0] * n
+        self._lk_dropbuf = [0] * n
+        self._lk_droprand = [0] * n
+        self._lk_reord = [0] * n
+        self._k_refresh_links()
+
+    def _k_refresh_links(self) -> None:
+        """Re-read link state into the arrays (top of every slice), so
+        anything done to the ``Link`` objects between slices -- direct
+        ``transmit()`` calls, ``reset()``, even a trace replacement --
+        is honoured by the kernel from the next slice on."""
+        for j, link in enumerate(self._k_links):
+            self._lk_busy[j] = link.busy_until
+            self._lk_last[j] = link.last_arrival
+            self._lk_rate[j] = link._const_rate
+            self._lk_bw[j] = link.trace.bandwidth_at
+            self._lk_thresh[j] = link.queue_size + 1.0 - 1e-9
+            self._lk_delay[j] = link.delay
+            self._lk_loss[j] = link.loss_rate
+            # Bound draw method: the loss stream stays owned by the
+            # link's own generator, drawn in the same order as
+            # Link.transmit would draw it.
+            self._lk_draw[j] = link.rng.random
+            self._lk_pure[j] = link.pure_delay
+            self._lk_deliv[j] = link.delivered
+            self._lk_dropbuf[j] = link.dropped_buffer
+            self._lk_droprand[j] = link.dropped_random
+            self._lk_reord[j] = link.reordered
+
+    def _sync_links(self) -> None:
+        """Write mutable link state back to the ``Link`` objects
+        (bottom of every slice)."""
+        busy = self._lk_busy
+        last = self._lk_last
+        deliv = self._lk_deliv
+        dropbuf = self._lk_dropbuf
+        droprand = self._lk_droprand
+        reord = self._lk_reord
+        for j, link in enumerate(self._k_links):
+            link.busy_until = busy[j]
+            link.last_arrival = last[j]
+            link.delivered = deliv[j]
+            link.dropped_buffer = dropbuf[j]
+            link.dropped_random = droprand[j]
+            link.reordered = reord[j]
+
+    # --- cold-path handlers ----------------------------------------------
+
+    def _k_fused_only(self, flow, packet=None) -> None:
+        raise RuntimeError(
+            "kernel hot-path events dispatch through KernelSimState's "
+            "fused loop; drive this simulation via sim.state / run(), "
+            "not a base SimState")
+
+    def _k_forward_drop(self, flow, idx: int, hop: int,
+                        cursor: float) -> None:
+        """Walk the links past a forward drop, charging current queue
+        occupancy plus service, then schedule the receiver's gap
+        observation (reference: the drop tail of ``_advance_packet``)."""
+        k_fwd = flow.k_fwd
+        busy = self._lk_busy
+        rate_a = self._lk_rate
+        bw_a = self._lk_bw
+        delay_a = self._lk_delay
+        for h in range(hop + 1, flow.n_links):
+            j = k_fwd[h]
+            b = busy[j]
+            qd = b - cursor
+            if qd < 0.0:
+                qd = 0.0
+            r = rate_a[j]
+            if r is None:
+                r = bw_a[j](cursor)
+            cursor += qd + 1.0 / r + delay_a[j]
+        self._push(cursor, EV_RCV, flow, idx)
+
+    def _k_advance_reverse(self, flow, idx: int) -> None:
+        """One reverse hop of an ack / loss notice at the current
+        clock (reference: ``_advance_reverse``)."""
+        pool = self._pool
+        now = self.now
+        hop = pool.hop[idx]
+        k_rev = flow.k_rev
+        j = k_rev[hop]
+        pure = self._lk_pure[j]
+        if pure is not None:
+            # Zero-work fast path: pure propagation never queues,
+            # drops, or counts.
+            cursor = now + pure
+        else:
+            size = flow.ack_size
+            # Link.transmit(now, size) inline.
+            last = self._lk_last[j]
+            if now < last - 1e-12:
+                self._lk_reord[j] += 1
+            if now > last:
+                self._lk_last[j] = now
+            rate = self._lk_rate[j]
+            if rate is None:
+                rate = self._lk_bw[j](now)
+            service = size / rate
+            b = self._lk_busy[j]
+            queue_delay = b - now
+            if queue_delay < 0.0:
+                queue_delay = 0.0
+            if queue_delay * rate >= self._lk_thresh[j]:
+                # Buffer drop.
+                self._lk_dropbuf[j] += 1
+                pool.ack_queue_delay[idx] += queue_delay
+                if not pool.dropped[idx]:
+                    self._k_park_ack(flow, idx)
+                    return
+                # Buffer-dropped loss notice: delivered late.
+                cursor = (now + queue_delay + size / rate
+                          + self._lk_delay[j])
+            else:
+                self._lk_busy[j] = (b if b > now else now) + service
+                depart = now + queue_delay + service + self._lk_delay[j]
+                loss = self._lk_loss[j]
+                if loss > 0.0 and self._lk_draw[j]() < loss:
+                    # Random wire drop.
+                    self._lk_droprand[j] += 1
+                    pool.ack_queue_delay[idx] += queue_delay
+                    if not pool.dropped[idx]:
+                        self._k_park_ack(flow, idx)
+                        return
+                    # Randomly dropped loss notice: normal timing.
+                    cursor = depart
+                else:
+                    self._lk_deliv[j] += 1
+                    pool.ack_queue_delay[idx] += queue_delay
+                    cursor = depart
+        hop += 1
+        pool.hop[idx] = hop
+        if hop < flow.n_rev_links:
+            self._push(self._k_dither_reverse(flow, idx, hop, cursor),
+                       EV_HOP, flow, idx)
+            return
+        seq = self._seq + 1
+        self._seq = seq
+        if pool.dropped[idx]:
+            heappush(self._heap, (cursor, seq, EV_LOSS, flow, idx))
+        else:
+            pool.ack_time[idx] = cursor
+            heappush(self._heap, (cursor, seq, EV_ACK, flow, idx))
+
+    def _k_park_ack(self, flow, idx: int) -> None:
+        """A real ack was dropped on the reverse path: park the slot in
+        ``pending_acks`` and arm the retransmit-timeout fallback.  The
+        slot stays allocated until its RTO event fires (see the module
+        docstring's slot-lifetime contract)."""
+        flow.pending_acks[self._pool.seq[idx]] = idx
+        srtt = flow.srtt
+        if not srtt:
+            srtt = flow.base_rtt
+        if srtt < MIN_MI_DURATION:
+            srtt = MIN_MI_DURATION
+        self._push(self.now + ACK_RTO_FACTOR * srtt, EV_RTO, flow, idx)
+
+    def _k_dither_reverse(self, flow, idx: int, hop: int,
+                          depart: float) -> float:
+        """Forwarding dither for a deferred *reverse* hop arrival
+        (reference: ``_dither_arrival`` with ``reversing=True``)."""
+        if self.hop_jitter > 0.0:
+            j = flow.k_rev[hop]
+            rate = self._lk_rate[j]
+            if rate is None:
+                rate = self._lk_bw[j](depart)
+            service = flow.ack_size / rate
+            pos = self._hop_pos
+            buf = self._hop_buf
+            if buf is None or pos >= RNG_BLOCK:
+                buf = self._hop_buf = self._hop_rng.random(RNG_BLOCK).tolist()
+                pos = 0
+            self._hop_pos = pos + 1
+            depart += self.hop_jitter * buf[pos] * service
+        floors = flow.rev_hop_floor
+        floor = floors[hop]
+        if depart > floor:
+            floors[hop] = depart
+            return depart
+        return floor
+
+    def _k_note_ack(self, flow, idx: int, now: float) -> None:
+        """``Flow.note_ack`` against pool storage (recovery path; the
+        fused ack branch inlines its own copy)."""
+        flow.total_acked += 1
+        flow.mi_acked += 1
+        infl = flow.inflight - 1
+        flow.inflight = infl if infl > 0 else 0
+        if now > flow.last_event_time:
+            flow.last_event_time = now
+        rtt = now - self._pool.send_time[idx]
+        flow.last_rtt = rtt
+        srtt = flow.srtt
+        flow.srtt = rtt if srtt is None else 0.875 * srtt + 0.125 * rtt
+        ms = flow.min_rtt_seen
+        if ms is None or rtt < ms:
+            flow.min_rtt_seen = rtt
+        flow._mi_times.append(now)
+        flow._mi_rtts.append(rtt)
+        if rtt < flow._mi_min_rtt:
+            flow._mi_min_rtt = rtt
+
+    def _k_recover_pending(self, flow, before_seq: int) -> None:
+        """Cumulative feedback below ``before_seq``: acknowledge every
+        earlier parked packet now (reference: ``_recover_pending``).
+        Recovered slots are *not* freed here -- their RTO event still
+        references them and will release them as a stale no-op."""
+        pending = flow.pending_acks
+        if not pending:
+            return
+        pool = self._pool
+        now = self.now
+        cb = flow.on_ack_cb
+        view = self._view
+        for seq in sorted(s for s in pending if s < before_seq):
+            ridx = pending.pop(seq)
+            pool.ack_time[ridx] = now
+            pool.ack_recovered[ridx] = True
+            self._k_note_ack(flow, ridx, now)
+            if cb is not None:
+                view._idx = ridx
+                cb(flow, view, now)
+
+    def _k_handle_rto(self, flow, idx: int) -> None:
+        """Retransmit-timeout fallback for a dropped ack (reference:
+        ``_handle_ack_rto``).  Sole release point for parked slots."""
+        pool = self._pool
+        if flow.pending_acks.pop(pool.seq[idx], None) is None:
+            # Already recovered by a later cumulative ack; the slot
+            # was kept alive for exactly this moment.
+            pool.free.append(idx)
+            return
+        pool.ack_dropped[idx] = True
+        now = self.now
+        flow.total_lost += 1
+        flow.mi_lost += 1
+        infl = flow.inflight - 1
+        flow.inflight = infl if infl > 0 else 0
+        if now > flow.last_event_time:
+            flow.last_event_time = now
+        cb = flow.on_loss_cb
+        if cb is not None:
+            view = self._view
+            view._idx = idx
+            cb(flow, view, now)
+        if flow.is_window and not flow.stopped \
+                and flow.inflight < flow.cwnd_fn(now):
+            self._schedule_send(flow, now)
+        pool.free.append(idx)
+
+    # --- eager twin (transit="eager") ------------------------------------
+
+    def _k_emit_eager(self, flow, idx: int) -> None:
+        """Transit every forward hop at emit time (reference:
+        ``_emit_eager``), against the link arrays."""
+        pool = self._pool
+        cursor = self.now
+        queue_delay = 0.0
+        delivered = True
+        k_fwd = flow.k_fwd
+        for hop in range(flow.n_links):
+            j = k_fwd[hop]
+            pure = self._lk_pure[j]
+            if pure is not None:
+                cursor += pure
+                continue
+            last = self._lk_last[j]
+            if cursor < last - 1e-12:
+                self._lk_reord[j] += 1
+            if cursor > last:
+                self._lk_last[j] = cursor
+            rate = self._lk_rate[j]
+            if rate is None:
+                rate = self._lk_bw[j](cursor)
+            b = self._lk_busy[j]
+            hop_qd = b - cursor
+            if hop_qd < 0.0:
+                hop_qd = 0.0
+            if hop_qd * rate >= self._lk_thresh[j]:
+                self._lk_dropbuf[j] += 1
+                queue_delay += hop_qd
+                delivered = False
+                pool.dropped[idx] = True
+                pool.drop_kind[idx] = "buffer"
+                self._k_forward_drop(flow, idx, hop,
+                                     cursor + hop_qd + self._lk_delay[j])
+                break
+            service = 1.0 / rate
+            self._lk_busy[j] = (b if b > cursor else cursor) + service
+            depart = cursor + hop_qd + service + self._lk_delay[j]
+            loss = self._lk_loss[j]
+            if loss > 0.0 and self._lk_draw[j]() < loss:
+                self._lk_droprand[j] += 1
+                queue_delay += hop_qd
+                delivered = False
+                pool.dropped[idx] = True
+                pool.drop_kind[idx] = "random"
+                self._k_forward_drop(flow, idx, hop, depart)
+                break
+            self._lk_deliv[j] += 1
+            queue_delay += hop_qd
+            cursor = depart
+        pool.queue_delay[idx] = queue_delay
+        if delivered:
+            pool.arrival_time[idx] = cursor
+            self._push(cursor, EV_RCV, flow, idx)
+
+    def _k_receive_eager(self, flow, idx: int) -> None:
+        """Eager receive: collapse the whole reverse walk into the
+        ``rcv`` handler (reference: the eager branch of
+        ``_handle_receive`` + ``_transit_reverse``)."""
+        pool = self._pool
+        size = flow.ack_size
+        cursor = self.now
+        queue_delay = 0.0
+        for j in flow.k_rev:
+            pure = self._lk_pure[j]
+            if pure is not None:
+                cursor += pure
+                continue
+            last = self._lk_last[j]
+            if cursor < last - 1e-12:
+                self._lk_reord[j] += 1
+            if cursor > last:
+                self._lk_last[j] = cursor
+            rate = self._lk_rate[j]
+            if rate is None:
+                rate = self._lk_bw[j](cursor)
+            service = size / rate
+            b = self._lk_busy[j]
+            hop_qd = b - cursor
+            if hop_qd < 0.0:
+                hop_qd = 0.0
+            if hop_qd * rate >= self._lk_thresh[j]:
+                # Frozen pre-refactor semantics: buffer-dropped acks
+                # are delivered late, never lost.
+                self._lk_dropbuf[j] += 1
+                queue_delay += hop_qd
+                cursor += hop_qd + size / rate + self._lk_delay[j]
+                continue
+            self._lk_busy[j] = (b if b > cursor else cursor) + service
+            depart = cursor + hop_qd + service + self._lk_delay[j]
+            loss = self._lk_loss[j]
+            if loss > 0.0 and self._lk_draw[j]() < loss:
+                self._lk_droprand[j] += 1
+                queue_delay += hop_qd
+                cursor = depart
+                continue
+            self._lk_deliv[j] += 1
+            queue_delay += hop_qd
+            cursor = depart
+        if pool.dropped[idx]:
+            self._push(cursor, EV_LOSS, flow, idx)
+        else:
+            pool.ack_time[idx] = cursor
+            pool.ack_queue_delay[idx] = queue_delay
+            self._push(cursor, EV_ACK, flow, idx)

@@ -1,0 +1,49 @@
+"""Known-bad kernel pool: drifted field table, coverage gaps, and an
+out-of-place grow -- the compiled-pool-fields rule must flag all four.
+
+Never imported; parsed by tests/test_analysis.py.
+"""
+
+# "checksum" is not a Packet slot and "ack_recovered" is missing.
+POOL_FIELDS = ("flow_id", "seq", "send_time", "size_bytes",
+               "arrival_time", "ack_time", "dropped", "drop_kind",
+               "queue_delay", "ack_queue_delay", "hop", "reversing",
+               "ack_dropped", "checksum")
+
+
+class PacketPool:
+    __slots__ = POOL_FIELDS + ("free", "capacity")
+
+    def __init__(self, capacity=8):
+        self.capacity = capacity
+        self.flow_id = [0] * capacity
+        self.seq = [0] * capacity
+        # BUG: send_time never initialised -- no array backs the field.
+        self.size_bytes = [0] * capacity
+        self.arrival_time = [None] * capacity
+        self.ack_time = [None] * capacity
+        self.dropped = [False] * capacity
+        self.drop_kind = [None] * capacity
+        self.queue_delay = [0.0] * capacity
+        self.ack_queue_delay = [0.0] * capacity
+        self.hop = [0] * capacity
+        self.reversing = [False] * capacity
+        self.ack_dropped = [False] * capacity
+        self.checksum = [0] * capacity
+        self.free = list(range(capacity - 1, -1, -1))
+
+    def grow(self):
+        cap = self.capacity
+        self.flow_id.extend([0] * cap)
+        # BUG: rebuilds instead of extending -- hoisted references in
+        # the fused loop would keep reading the abandoned array.
+        self.seq = self.seq + [0] * cap
+        self.free.extend(range(2 * cap - 1, cap - 1, -1))
+        self.capacity = 2 * cap
+
+    def alloc(self, flow_id, seq, send_time, size_bytes):
+        idx = self.free.pop()
+        self.flow_id[idx] = flow_id
+        self.seq[idx] = seq
+        # BUG: the remaining fields keep the recycled slot's stale state.
+        return idx

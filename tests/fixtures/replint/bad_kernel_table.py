@@ -1,0 +1,22 @@
+"""Known-bad kernel handler table: one slot short of the EV_* count
+declared by the reference engine (8) -- compiled-handler-table flags it.
+
+Never imported; parsed by tests/test_analysis.py.
+"""
+
+
+class KernelSimulation:
+    def __init__(self):
+        self._handlers = (self._handle_start, self._fused_only,
+                          self._fused_only, self._fused_only,
+                          self._fused_only, self._fused_only,
+                          self._handle_rto)  # 7 slots for 8 kinds
+
+    def _handle_start(self, flow, packet=None):
+        pass
+
+    def _fused_only(self, flow, packet=None):
+        raise RuntimeError("fused")
+
+    def _handle_rto(self, flow, packet=None):
+        pass

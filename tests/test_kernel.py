@@ -1,0 +1,293 @@
+"""Kernel engine (repro.netsim.kernel): bit-identity, pool mechanics,
+engine-axis plumbing.
+
+The kernel's contract is *bit-identity*: same event stream, same RNG
+draw order, same floats as the reference engine, on every perf shape
+under both transit modes -- solo, sliced through the ``SimState``
+stepping interface, and interleaved through ``BatchRunner``.  These
+tests pin that contract with full-result digests (the same
+serialization the result cache persists) plus the struct-of-arrays
+plumbing underneath it: freelist allocation/recycle determinism,
+in-place growth, the read-only ``PacketView`` flyweight, and the
+``engine=`` scenario axis that selects the core.
+"""
+
+import hashlib
+import json
+
+import numpy as np
+import pytest
+
+from repro.eval.batch import BatchRunner
+from repro.eval.parallel import ParallelRunner, _record_to_json
+from repro.eval.perf import PERF_SHAPES, perf_scenarios
+from repro.eval.runner import EvalNetwork
+from repro.eval.scenarios import (
+    Scenario,
+    ScenarioSuite,
+    build_scenario_simulation,
+)
+from repro.netsim import ENGINES, Simulation, engine_class
+from repro.netsim.kernel import (
+    KERNEL_COMPILED,
+    POOL_FIELDS,
+    KernelSimulation,
+    PacketPool,
+    PacketView,
+)
+from repro.netsim.link import Link
+from repro.netsim.network import FlowSpec
+from repro.netsim.packet import Packet
+from repro.netsim.sender import ExternalRateController
+from repro.netsim.traces import ConstantTrace
+
+DURATION = 1.25
+SEED = 3
+
+
+def digest(records) -> str:
+    """Same serialization the golden-trace tests and result cache use."""
+    rows = [_record_to_json(r) for r in records]
+    return hashlib.sha256(json.dumps(rows, sort_keys=True).encode()).hexdigest()
+
+
+def build_pair(shape: str, transit: str):
+    """(reference sims, kernel sims) of one perf shape, same seeding."""
+    ref = [build_scenario_simulation(s)
+           for s in perf_scenarios(shape, transit=transit, duration=DURATION,
+                                   seed=SEED)]
+    ker = [build_scenario_simulation(s)
+           for s in perf_scenarios(shape, transit=transit, duration=DURATION,
+                                   seed=SEED, engine="kernel")]
+    return ref, ker
+
+
+def tiny_kernel_sim(duration=1.0, **spec_kwargs) -> KernelSimulation:
+    link = Link(ConstantTrace(100.0), delay=0.01, queue_size=50,
+                rng=np.random.default_rng(0))
+    spec = FlowSpec(ExternalRateController(50.0), **spec_kwargs)
+    return KernelSimulation(link, [spec], duration=duration, seed=1)
+
+
+SHAPE_TRANSITS = [(shape, transit) for shape in PERF_SHAPES
+                  for transit in ("event", "eager")]
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("shape,transit", SHAPE_TRANSITS)
+    def test_solo_digest_identical(self, shape, transit):
+        ref, ker = build_pair(shape, transit)
+        for r, k in zip(ref, ker):
+            assert isinstance(k, KernelSimulation)
+            assert digest(r.run_all()) == digest(k.run_all())
+            assert r.events_processed == k.events_processed
+
+    @pytest.mark.parametrize("transit", ("event", "eager"))
+    def test_stepped_slicing_identical(self, transit):
+        # Mixed step_events/step_until slicing must equal one
+        # monolithic run -- the BatchRunner resumability contract.
+        (ref_sim,), (ker_sim,) = build_pair("single-bottleneck", transit)
+        ref_records = ref_sim.run_all()
+        state = ker_sim.state
+        horizon = 0.0
+        while not state.done:
+            state.step_events(97)
+            horizon += 0.2
+            state.step_until(min(horizon, ker_sim.duration))
+        assert digest(ref_records) == digest(ker_sim.run_all())
+        assert ref_sim.events_processed == ker_sim.events_processed
+
+    def test_batched_matches_reference_cells(self):
+        suite = ScenarioSuite(name="kernel-batch",
+                              lineups={"duo": ("cubic", "bbr")},
+                              engines=("reference", "kernel"),
+                              duration=1.5, seeds=(7,))
+        cells = BatchRunner(slice_seconds=0.3).run(suite.expand())
+        by_name = {}
+        for cell in cells:
+            assert cell.error is None, cell.error
+            by_name[cell.scenario.name] = (digest(cell.records), cell.events)
+        kernel_names = [n for n in by_name if "engine=kernel" in n]
+        assert kernel_names
+        for name in kernel_names:
+            twin = name.replace("engine=kernel", "engine=reference")
+            assert by_name[name] == by_name[twin], name
+
+
+class TestEventsAccounting:
+    def test_result_rows_report_identical_events(self):
+        # The events column of ScenarioResult rows -- the events/sec
+        # numerator -- must not depend on the engine that produced it.
+        suite = ScenarioSuite(name="kernel-events", lineups=("cubic",),
+                              engines=("reference", "kernel"), duration=1.0)
+        outcome = ParallelRunner(n_workers=1, use_cache=False).run(suite)
+        by_name = {r.scenario.name: r.events for r in outcome.results}
+        kernel_names = [n for n in by_name if "engine=kernel" in n]
+        assert kernel_names
+        for name in kernel_names:
+            twin = name.replace("engine=kernel", "engine=reference")
+            assert by_name[name] > 0
+            assert by_name[name] == by_name[twin], name
+
+    def test_stepping_and_run_agree_on_counts(self):
+        whole = tiny_kernel_sim()
+        whole.run_all()
+        stepped = tiny_kernel_sim()
+        while not stepped.state.done:
+            stepped.state.step_events(13)
+        stepped.run_all()
+        assert whole.events_processed == stepped.events_processed > 100
+
+
+class TestPacketPool:
+    def test_fields_mirror_packet_slots(self):
+        # Mirrors replint's compiled-pool-fields rule at runtime.
+        assert POOL_FIELDS == Packet.__slots__
+
+    def test_alloc_order_and_lifo_recycle(self):
+        pool = PacketPool(capacity=4)
+        assert [pool.alloc(0, i, 0.0, 1500) for i in range(3)] == [0, 1, 2]
+        pool.release(1)
+        pool.release(0)
+        # LIFO: the most recently released slot is reused first.
+        assert pool.alloc(0, 9, 1.0, 1500) == 0
+        assert pool.alloc(0, 10, 1.0, 1500) == 1
+        assert pool.in_use() == 3
+
+    def test_exhaustion_grows_in_place(self):
+        pool = PacketPool(capacity=2)
+        send_time = pool.send_time
+        free = pool.free
+        assert [pool.alloc(1, i, float(i), 100) for i in range(5)] == \
+            [0, 1, 2, 3, 4]
+        assert pool.capacity == 8  # doubled twice: 2 -> 4 -> 8
+        # Growth extends, never rebuilds: hoisted references stay valid.
+        assert pool.send_time is send_time
+        assert pool.free is free
+        assert send_time[:5] == [0.0, 1.0, 2.0, 3.0, 4.0]
+        assert pool.in_use() == 5
+        assert all(len(getattr(pool, f)) == 8 for f in POOL_FIELDS)
+
+    def test_alloc_resets_packet_defaults(self):
+        pool = PacketPool(capacity=1)
+        idx = pool.alloc(0, 0, 0.0, 10)
+        pool.dropped[idx] = True
+        pool.arrival_time[idx] = 4.2
+        pool.hop[idx] = 3
+        pool.release(idx)
+        again = pool.alloc(1, 5, 1.5, 20)
+        assert again == idx
+        view = PacketView(pool, again)
+        assert view.dropped is False
+        assert view.arrival_time is None
+        assert view.hop == 0 and view.seq == 5
+
+    def test_recycle_order_is_deterministic(self):
+        def pool_state():
+            (scenario,) = perf_scenarios("single-bottleneck", duration=0.75,
+                                         seed=5, engine="kernel")
+            sim = build_scenario_simulation(scenario)
+            sim.run_all()
+            return sim._pool.capacity, list(sim._pool.free)
+
+        assert pool_state() == pool_state()
+
+    def test_field_array(self):
+        pool = PacketPool(capacity=3)
+        pool.alloc(7, 1, 0.5, 100)
+        arr = pool.field_array("send_time")
+        assert arr.dtype == np.float64 and arr[0] == 0.5
+        assert pool.field_array("arrival_time").dtype == object
+        with pytest.raises(KeyError, match="unknown pool field"):
+            pool.field_array("checksum")
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacity"):
+            PacketPool(capacity=0)
+
+
+class TestPacketView:
+    def test_read_only(self):
+        pool = PacketPool(capacity=1)
+        view = PacketView(pool, pool.alloc(0, 3, 1.0, 1500))
+        with pytest.raises(AttributeError):
+            view.send_time = 9.0
+        with pytest.raises(AttributeError):
+            view.bogus = 1
+
+    def test_mirrors_packet_semantics(self):
+        pool = PacketPool(capacity=1)
+        idx = pool.alloc(2, 7, 1.0, 1500)
+        pool.arrival_time[idx] = 1.25
+        pool.ack_time[idx] = 1.5
+        view = PacketView(pool, idx)
+        pkt = Packet(2, 7, 1.0, 1500, arrival_time=1.25, ack_time=1.5)
+        assert view.rtt == pkt.rtt == 0.5
+        for field in POOL_FIELDS:
+            assert getattr(view, field) == getattr(pkt, field), field
+        assert "acked" in repr(view)
+
+    def test_retarget_by_index(self):
+        pool = PacketPool(capacity=2)
+        a = pool.alloc(0, 1, 0.5, 100)
+        b = pool.alloc(0, 2, 0.75, 100)
+        view = PacketView(pool, a)
+        assert view.seq == 1
+        view._idx = b
+        assert view.seq == 2 and view.send_time == 0.75
+
+
+class TestEngineAxis:
+    def test_engine_class_resolution(self):
+        assert ENGINES == ("reference", "kernel")
+        assert engine_class() is Simulation
+        assert engine_class("reference") is Simulation
+        assert engine_class("kernel") is KernelSimulation
+        with pytest.raises(ValueError, match="unknown engine"):
+            engine_class("turbo")
+
+    def test_scenario_validates_engine(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            Scenario(name="bad", network=EvalNetwork(), flows=("cubic",),
+                     engine="turbo")
+
+    def test_fingerprint_differs_by_engine(self):
+        (ref,) = perf_scenarios("single-bottleneck", duration=1.0)
+        (ker,) = perf_scenarios("single-bottleneck", duration=1.0,
+                                engine="kernel")
+        assert ref.engine == "reference" and ker.engine == "kernel"
+        assert ref.fingerprint() != ker.fingerprint()
+
+    def test_suite_expansion_names_engine_axis(self):
+        suite = ScenarioSuite(name="ax", lineups=("cubic",),
+                              engines=("reference", "kernel"))
+        names = [s.name for s in suite.expand()]
+        assert len(names) == 2
+        assert any("engine=kernel" in n for n in names)
+        assert any("engine=reference" in n for n in names)
+
+    def test_build_resolves_engine_class(self):
+        (scenario,) = perf_scenarios("single-bottleneck", duration=0.5,
+                                     engine="kernel")
+        sim = build_scenario_simulation(scenario)
+        assert type(sim) is KernelSimulation
+
+
+class TestKernelGuards:
+    def test_keep_packets_rejected(self):
+        link = Link(ConstantTrace(100.0), delay=0.01, queue_size=50,
+                    rng=np.random.default_rng(0))
+        spec = FlowSpec(ExternalRateController(50.0), keep_packets=True)
+        with pytest.raises(ValueError, match="keep_packets"):
+            KernelSimulation(link, [spec], duration=1.0)
+
+    def test_hot_kinds_refuse_table_dispatch(self):
+        # Driving a kernel sim through the base SimState loop would
+        # mis-read pool indices as Packet objects; the table slots for
+        # the fused kinds fail loudly instead.
+        sim = tiny_kernel_sim()
+        with pytest.raises(RuntimeError, match="fused"):
+            sim._k_fused_only(sim.flows[0], None)
+
+    def test_compiled_flag_is_bool(self):
+        assert isinstance(KERNEL_COMPILED, bool)
