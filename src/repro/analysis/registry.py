@@ -34,6 +34,11 @@ from repro.analysis.rules_engine import (
     TransmitUnpackRule,
 )
 from repro.analysis.rules_fingerprint import FingerprintCoverageRule
+from repro.analysis.rules_resilience import (
+    FaultSignatureCoverageRule,
+    FaultStreamDeclarationRule,
+    ResilienceRetryRule,
+)
 from repro.analysis.rules_rng import AdhocRngRule
 
 __all__ = ["all_rules", "rules_by_id"]
@@ -69,6 +74,10 @@ _RULE_CLASSES = (
     BatchSharedMutableRule,
     BatchRngRule,
     BatchIsolationRule,
+    # fault injection & resilient sweep runtime
+    FaultSignatureCoverageRule,
+    FaultStreamDeclarationRule,
+    ResilienceRetryRule,
 )
 
 

@@ -16,6 +16,7 @@ fairness/CDF analyses.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import multiprocessing as mp
 import os
@@ -26,6 +27,15 @@ from pathlib import Path
 import numpy as np
 
 from repro.eval.batch import BatchRunner, warm_agent_refs
+from repro.eval.resilience import (
+    MI_FIELDS,
+    RECORD_FIELDS,
+    ResilientPool,
+    RetryPolicy,
+    SweepCheckpoint,
+    record_from_json,
+    record_to_json,
+)
 from repro.eval.scenarios import (
     SCENARIO_CACHE_VERSION,
     AgentRef,
@@ -34,7 +44,6 @@ from repro.eval.scenarios import (
     simulate_scenario,
 )
 from repro.netsim.network import FlowRecord
-from repro.netsim.sender import MonitorIntervalStats
 
 __all__ = ["ParallelRunner", "ResultCache", "ResultTable", "ScenarioError",
            "ScenarioResult", "SuiteResult"]
@@ -54,27 +63,23 @@ class ScenarioError(RuntimeError):
             message += f": {detail}"
         super().__init__(message)
 
-#: Per-monitor-interval fields persisted in the result cache.
-_MI_FIELDS = ("flow_id", "start", "end", "sent", "acked", "lost", "mean_rtt",
-              "min_rtt", "latency_gradient", "capacity_pps", "base_rtt",
-              "packet_bytes", "rate_pps")
-_RECORD_FIELDS = ("flow_id", "scheme", "mean_throughput_pps",
-                  "mean_throughput_mbps", "mean_utilization", "mean_rtt",
-                  "base_rtt", "loss_rate")
+# Record (de)serialization lives in repro.eval.resilience (shared with
+# the checkpoint journal); the old private names stay importable.
+_MI_FIELDS = MI_FIELDS
+_RECORD_FIELDS = RECORD_FIELDS
+_record_to_json = record_to_json
+_record_from_json = record_from_json
 
 
-def _record_to_json(record: FlowRecord) -> dict:
-    payload = {name: getattr(record, name) for name in _RECORD_FIELDS}
-    payload["records"] = [[getattr(s, name) for name in _MI_FIELDS]
-                          for s in record.records]
-    return payload
+def _payload_sha(records_payload: list) -> str:
+    """Content checksum of a cache entry's serialised record list.
 
-
-def _record_from_json(payload: dict) -> FlowRecord:
-    stats = [MonitorIntervalStats(**dict(zip(_MI_FIELDS, row)))
-             for row in payload["records"]]
-    fields = {name: payload[name] for name in _RECORD_FIELDS}
-    return FlowRecord(records=stats, **fields)
+    Canonical-JSON based so it survives a write/parse round trip:
+    verifying re-dumps the *parsed* payload and compares, which only
+    works because ``json.dumps`` emits shortest-round-trip floats.
+    """
+    body = json.dumps(records_payload, sort_keys=True)
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
 
 
 #: Default size cap of the on-disk result cache, megabytes.  Long-lived
@@ -116,17 +121,49 @@ class ResultCache:
     def _path(self, fingerprint: str) -> Path:
         return self.cache_dir / f"{fingerprint}.json"
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside so its cell is recomputed.
+
+        The entry is renamed to ``<fingerprint>.quarantined`` -- out of
+        the ``*.json`` namespace, so it is never read again and never
+        counts against the size cap, but stays inspectable for
+        debugging.  ``clear()`` removes quarantined files too.  Racing
+        removals are fine: the outcome either way is a cache miss.
+        """
+        try:
+            path.replace(path.with_suffix(".quarantined"))
+        except OSError:
+            pass
+
     def get(self, fingerprint: str) -> list[FlowRecord] | None:
         path = self._path(fingerprint)
         if not path.exists():
             return None
-        # Any unreadable/stale/truncated entry is just a cache miss.
+        # Unreadable files and stale versions are plain misses; an
+        # entry that *parses* but fails its content checksum (torn
+        # write, bit rot, concurrent truncation) is quarantined so the
+        # cell is recomputed instead of serving corrupt records.
         try:
-            payload = json.loads(path.read_text())
-            if payload.get("version") != SCENARIO_CACHE_VERSION:
-                return None
-            records = [_record_from_json(r) for r in payload["records"]]
-        except (OSError, ValueError, KeyError, TypeError, AttributeError):
+            text = path.read_text()
+        except OSError:
+            return None
+        try:
+            payload = json.loads(text)
+            if not isinstance(payload, dict):
+                raise ValueError("cache entry is not a JSON object")
+            version = payload.get("version")
+        except ValueError:
+            self._quarantine(path)
+            return None
+        if version != SCENARIO_CACHE_VERSION:
+            return None  # stale format: put() will overwrite it
+        try:
+            body = payload["records"]
+            if payload.get("sha") != _payload_sha(body):
+                raise ValueError("cache entry failed its content checksum")
+            records = [_record_from_json(r) for r in body]
+        except (ValueError, KeyError, TypeError, AttributeError):
+            self._quarantine(path)
             return None
         try:
             os.utime(path)  # LRU touch: a hit keeps the entry young
@@ -135,8 +172,10 @@ class ResultCache:
         return records
 
     def put(self, fingerprint: str, name: str, records: list[FlowRecord]) -> None:
+        records_payload = [_record_to_json(r) for r in records]
         payload = {"version": SCENARIO_CACHE_VERSION, "name": name,
-                   "records": [_record_to_json(r) for r in records]}
+                   "sha": _payload_sha(records_payload),
+                   "records": records_payload}
         path = self._path(fingerprint)
         tmp = path.with_suffix(".tmp")
         tmp.write_text(json.dumps(payload))
@@ -146,12 +185,19 @@ class ResultCache:
             # pay the full directory scan once it crosses the cap (an
             # overwrite counts its size twice, which merely prunes a
             # touch early -- prune() re-measures exactly).
-            if self._approx_bytes is None:
-                self._approx_bytes = sum(
-                    p.stat().st_size
-                    for p in sorted(self.cache_dir.glob("*.json")))
-            else:
-                self._approx_bytes += path.stat().st_size
+            try:
+                if self._approx_bytes is None:
+                    total = 0
+                    for p in sorted(self.cache_dir.glob("*.json")):
+                        total += p.stat().st_size
+                    self._approx_bytes = total
+                else:
+                    self._approx_bytes += path.stat().st_size
+            except OSError:
+                # A concurrent prune/clear raced the scan; the next
+                # put() re-measures from scratch.
+                self._approx_bytes = None
+                return
             if self._approx_bytes > self.max_bytes:
                 self.prune()
 
@@ -191,10 +237,18 @@ class ResultCache:
         return self._path(fingerprint).exists()
 
     def clear(self) -> int:
-        """Delete all entries; returns how many were removed."""
+        """Delete all entries (quarantined ones included); returns how
+        many were removed.  Tolerates entries vanishing concurrently --
+        two racing ``clear()`` calls both succeed, splitting the count.
+        """
         removed = 0
-        for path in sorted(self.cache_dir.glob("*.json")):
-            path.unlink()
+        doomed = (sorted(self.cache_dir.glob("*.json"))
+                  + sorted(self.cache_dir.glob("*.quarantined")))
+        for path in doomed:
+            try:
+                path.unlink()
+            except OSError:
+                continue  # concurrently removed
             removed += 1
         self._approx_bytes = 0
         return removed
@@ -202,7 +256,7 @@ class ResultCache:
 
 @dataclass
 class ScenarioResult:
-    """One executed (or cache-served) scenario."""
+    """One executed (or cache-served, or failed) scenario."""
 
     scenario: Scenario
     records: list[FlowRecord]
@@ -212,12 +266,21 @@ class ScenarioResult:
     #: results -- no simulation ran).  Feeds the suite-level
     #: events/sec engine-speed metric (see :mod:`repro.eval.perf`).
     events: int = 0
+    #: Failure detail when the cell failed inside a budgeted run
+    #: (``ParallelRunner(max_failures=...)``); ``None`` for healthy
+    #: cells.  Failed cells have no records -- their rows carry the
+    #: condition columns plus this error, with metrics left ``None``.
+    error: str | None = None
 
     def rows(self) -> list[dict]:
         net = self.scenario.network
         topo = self.scenario.topology
         rows = []
-        for i, (flow, record) in enumerate(zip(self.scenario.flows, self.records)):
+        if self.error is None:
+            pairs = list(zip(self.scenario.flows, self.records))
+        else:
+            pairs = [(flow, None) for flow in self.scenario.flows]
+        for i, (flow, record) in enumerate(pairs):
             if topo is None:
                 path = flow.path
                 bandwidth = net.bandwidth_mbps
@@ -253,12 +316,18 @@ class ScenarioResult:
                 "transit": self.scenario.transit,
                 "seed": self.scenario.seed,
                 "duration": self.scenario.duration,
-                "throughput_pps": record.mean_throughput_pps,
-                "throughput_mbps": record.mean_throughput_mbps,
-                "utilization": record.mean_utilization,
-                "latency_ratio": record.latency_ratio,
-                "loss_rate": record.loss_rate,
+                "throughput_pps": (record.mean_throughput_pps
+                                   if record is not None else None),
+                "throughput_mbps": (record.mean_throughput_mbps
+                                    if record is not None else None),
+                "utilization": (record.mean_utilization
+                                if record is not None else None),
+                "latency_ratio": (record.latency_ratio
+                                  if record is not None else None),
+                "loss_rate": (record.loss_rate
+                              if record is not None else None),
                 "cached": self.cached,
+                "error": self.error,
                 # Per-cell engine accounting (0/0.0 for cache-served
                 # cells): lets batched and per-process runs be compared
                 # cell by cell straight from the table.
@@ -448,6 +517,28 @@ class ParallelRunner:
     cancels outstanding shards immediately -- the pool is torn down,
     queued cells never start; otherwise the rest of the suite
     completes -- and is cached -- before the error is raised.
+    ``max_failures`` trades that hard stop for a budget: up to that
+    many failed cells are recorded as result rows carrying an
+    ``error`` column (metrics ``None``) and the run succeeds; the
+    failure past the budget aborts as before.
+
+    Resilience knobs (all off by default -- the default dispatch path
+    is byte-for-byte the classic ``multiprocessing.Pool``):
+
+    * ``retry=RetryPolicy(...)`` and/or ``cell_timeout=seconds``
+      switch multi-worker dispatch to
+      :class:`~repro.eval.resilience.ResilientPool`: a worker that
+      crashes or blows its deadline (``cell_timeout`` x cells in the
+      batch) is respawned and the batch re-run within the retry
+      budget, then reported as failed cells.  Results are bit-identical
+      to the classic pool -- cells are pure seeded simulations.
+    * ``checkpoint=path`` journals every completed cell to a
+      :class:`~repro.eval.resilience.SweepCheckpoint`; re-running the
+      same suite resumes from the completed cells with their original
+      records, wall times, and event counts (row-for-row identical to
+      an uninterrupted run).  ``REPRO_SWEEP_CHECKPOINT`` supplies a
+      default path.  The journal only ever affects *which cells
+      execute*, never their results.
     """
 
     #: Auto batch sizing: leave at least this many batches per worker
@@ -461,7 +552,11 @@ class ParallelRunner:
                  cache_dir: str | Path | None = None, use_cache: bool = True,
                  early_abort: bool = False,
                  cache_max_bytes: int | None = None,
-                 batch_size: int | None = None):
+                 batch_size: int | None = None,
+                 max_failures: int | None = None,
+                 cell_timeout: float | None = None,
+                 retry: RetryPolicy | None = None,
+                 checkpoint: str | Path | None = None):
         if n_workers is None:
             n_workers = max(1, min(mp.cpu_count(), 8))
         self.n_workers = int(n_workers)
@@ -471,6 +566,22 @@ class ParallelRunner:
         if batch_size is not None and int(batch_size) < 1:
             raise ValueError("batch_size must be >= 1")
         self.batch_size = None if batch_size is None else int(batch_size)
+        if max_failures is not None and int(max_failures) < 0:
+            raise ValueError("max_failures must be >= 0")
+        self.max_failures = (None if max_failures is None
+                             else int(max_failures))
+        if cell_timeout is not None and float(cell_timeout) <= 0.0:
+            raise ValueError("cell_timeout must be positive")
+        self.cell_timeout = (None if cell_timeout is None
+                             else float(cell_timeout))
+        if retry is not None and not isinstance(retry, RetryPolicy):
+            raise TypeError("retry must be a RetryPolicy")
+        self.retry = retry
+        if checkpoint is None:
+            # Checkpoint location never reaches a simulation: it only
+            # decides which already-journaled cells are skipped.
+            checkpoint = os.environ.get("REPRO_SWEEP_CHECKPOINT") or None
+        self.checkpoint_path = None if checkpoint is None else Path(checkpoint)
 
     def _warm_agents(self, scenarios: list[Scenario]) -> None:
         warm_agent_refs(scenarios)
@@ -493,10 +604,37 @@ class ParallelRunner:
             scenarios = list(suite)
         t0 = time.perf_counter()
 
+        checkpoint: SweepCheckpoint | None = None
+        restored: dict[int, tuple] = {}
+        fingerprints: list[str | None] = [None] * len(scenarios)
+        if self.checkpoint_path is not None:
+            fingerprints = [s.fingerprint() for s in scenarios]
+            checkpoint = SweepCheckpoint(self.checkpoint_path)
+            restored = checkpoint.resume(fingerprints)
+
+        try:
+            return self._run_cells(scenarios, fingerprints, restored,
+                                   checkpoint, t0)
+        finally:
+            if checkpoint is not None:
+                checkpoint.close()
+
+    def _run_cells(self, scenarios, fingerprints, restored, checkpoint, t0):
         results: dict[int, ScenarioResult] = {}
         pending: list[tuple[int, Scenario, str | None]] = []
         for idx, scenario in enumerate(scenarios):
-            fingerprint = scenario.fingerprint() if self.cache else None
+            if idx in restored:
+                # Journaled by an earlier (interrupted) run: restore
+                # the original records, wall time, and event count so
+                # the resumed table is row-for-row what an
+                # uninterrupted run would have produced.
+                records, elapsed, events = restored[idx]
+                results[idx] = ScenarioResult(scenario, records,
+                                              elapsed=elapsed, events=events)
+                continue
+            fingerprint = fingerprints[idx]
+            if fingerprint is None and self.cache:
+                fingerprint = scenario.fingerprint()
             cached = self.cache.get(fingerprint) if self.cache else None
             if cached is not None:
                 results[idx] = ScenarioResult(scenario, cached, cached=True)
@@ -515,12 +653,22 @@ class ParallelRunner:
                         # Raising inside the pool's with-block terminates
                         # it, cancelling every shard not yet started.
                         raise ScenarioError(scenario.name, error)
+                    if (self.max_failures is not None
+                            and len(failures) > self.max_failures):
+                        raise ScenarioError(
+                            scenario.name,
+                            f"{error} (failure budget "
+                            f"max_failures={self.max_failures} exhausted)")
+                    results[idx] = ScenarioResult(scenario, [], error=error)
                     return
                 records, elapsed, events = payload
                 results[idx] = ScenarioResult(scenario, records,
                                               elapsed=elapsed, events=events)
                 if self.cache:
                     self.cache.put(fingerprint, scenario.name, records)
+                if checkpoint is not None:
+                    checkpoint.record(idx, fingerprint, records,
+                                      elapsed, events)
 
             batch_size = self._pick_batch_size(len(pending))
             batches = [list(range(start, min(start + batch_size,
@@ -535,17 +683,10 @@ class ParallelRunner:
                     {flow.agent for s in _FORK_SCENARIOS for flow in s.flows
                      if isinstance(flow.agent, AgentRef)}, key=AgentRef.key))
                 try:
-                    ctx = mp.get_context("fork")
-                    with ctx.Pool(processes=min(self.n_workers, len(batches)),
-                                  initializer=_init_batch_worker) as pool:
-                        # Unordered so completed batches cache (and
-                        # abort checks run) as they land, not in shard
-                        # order.
-                        for batch_results in pool.imap_unordered(
-                                _execute_batch, range(len(batches)),
-                                chunksize=1):
-                            for position, payload, error in batch_results:
-                                record_result(position, payload, error)
+                    if self.retry is not None or self.cell_timeout is not None:
+                        self._run_resilient(batches, record_result)
+                    else:
+                        self._run_pool(batches, record_result)
                 finally:
                     _FORK_BATCHES = []
                     _FORK_SCENARIOS = []
@@ -565,7 +706,7 @@ class ParallelRunner:
                                 (cell.records, cell.elapsed, cell.events),
                                 None)
 
-            if failures:
+            if failures and self.max_failures is None:
                 failures.sort()
                 _, name, error = failures[0]
                 detail = error if len(failures) == 1 else (
@@ -574,3 +715,42 @@ class ParallelRunner:
 
         ordered = [results[idx] for idx in range(len(scenarios))]
         return SuiteResult(results=ordered, elapsed=time.perf_counter() - t0)
+
+    def _run_pool(self, batches: list[list[int]], record_result) -> None:
+        """Classic dispatch: ``multiprocessing.Pool`` over batches."""
+        ctx = mp.get_context("fork")
+        with ctx.Pool(processes=min(self.n_workers, len(batches)),
+                      initializer=_init_batch_worker) as pool:
+            # Unordered so completed batches cache (and abort checks
+            # run) as they land, not in shard order.
+            for batch_results in pool.imap_unordered(
+                    _execute_batch, range(len(batches)), chunksize=1):
+                for position, payload, error in batch_results:
+                    record_result(position, payload, error)
+
+    def _run_resilient(self, batches: list[list[int]],
+                       record_result) -> None:
+        """Crash/timeout-tolerant dispatch via ResilientPool.
+
+        The batch deadline scales with its size (``cell_timeout`` is
+        per cell).  A batch whose retry budget is exhausted -- or that
+        dies on a deterministic worker fault with retries disabled --
+        reports every one of its cells as failed.
+        """
+        pool = ResilientPool(min(self.n_workers, len(batches)),
+                             _execute_batch,
+                             initializer=_init_batch_worker,
+                             retry=self.retry)
+        tasks = []
+        for index, batch in enumerate(batches):
+            timeout = (None if self.cell_timeout is None
+                       else self.cell_timeout * len(batch))
+            tasks.append((index, index, timeout))
+        for index, batch_results, error in pool.execute(tasks):
+            if batch_results is None:
+                for position in batches[index]:
+                    record_result(position, None,
+                                  error or "batch produced no result")
+            else:
+                for position, payload, cell_error in batch_results:
+                    record_result(position, payload, cell_error)

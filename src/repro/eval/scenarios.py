@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.eval.runner import EvalNetwork, build_competition, scheme_factory
 from repro.netsim import engine_class
+from repro.netsim.faults import coerce_faults, fault_signature
 from repro.netsim.network import FlowRecord, FlowSpec, Simulation
 from repro.netsim.topology import TopologySpec
 from repro.netsim.traces import make_trace
@@ -46,11 +47,11 @@ __all__ = ["AgentRef", "ChurnSchedule", "FlowDef", "Scenario", "ScenarioSuite",
            "build_scenario_simulation", "run_scenario", "simulate_scenario"]
 
 #: Bumped whenever scenario execution changes in a way that invalidates
-#: previously cached results.  v6: the fingerprint payload gained the
-#: ``engine=`` axis (reference vs kernel core), so every pre-axis
-#: cached result goes stale (v5: host-portable code digest; v4:
+#: previously cached results.  v7: cache entries gained a content
+#: checksum and the topology signature gained per-link fault schedules
+#: (v6: the ``engine=`` axis; v5: host-portable code digest; v4:
 #: event-driven per-hop forward transit).
-SCENARIO_CACHE_VERSION = "v6"
+SCENARIO_CACHE_VERSION = "v7"
 
 
 def _simulation_code_digest() -> str:
@@ -251,7 +252,8 @@ def _topology_signature(spec: TopologySpec | None) -> list | None:
     links = []
     for ld in spec.links:
         entry: list = [ld.name, ld.bandwidth_mbps, ld.delay_ms, ld.buffer_bdp,
-                       ld.queue_packets, ld.loss_rate, ld.trace]
+                       ld.queue_packets, ld.loss_rate, ld.trace,
+                       fault_signature(ld.faults)]
         if ld.trace is not None:
             entry.append(_trace_signature(make_trace(ld.trace)))
         links.append(entry)
@@ -661,6 +663,12 @@ class ScenarioSuite:
       the same return propagation delay), applied to the cell's
       topology via :meth:`TopologySpec.with_reverse_paths` -- needs a
       non-``None`` topology;
+    * ``faults`` -- ``None`` (fault-free, bit-identical to the golden
+      traces) or a mapping of link name to a fault spec / tuple of
+      fault specs from :mod:`repro.netsim.faults` (``None``/``()``
+      strips a link back to fault-free), applied to the cell's
+      topology via :meth:`TopologySpec.with_faults` -- needs a
+      non-``None`` topology;
     * ``churns`` -- :class:`ChurnSchedule` entries rewriting the
       line-up's start/stop times (``None`` = the line-up's own times);
     * ``transits`` -- hop-transit schemes (``"event"`` and/or
@@ -685,6 +693,7 @@ class ScenarioSuite:
     traces: tuple = (None,)
     topologies: tuple = (None,)
     reverse_paths: tuple = (None,)
+    faults: tuple = (None,)
     churns: tuple = (None,)
     transits: tuple = ("event",)
     engines: tuple = ("reference",)
@@ -696,20 +705,25 @@ class ScenarioSuite:
     def __post_init__(self):
         object.__setattr__(self, "lineups", _coerce_lineups(self.lineups))
         for axis in ("bandwidths_mbps", "rtts_ms", "losses", "buffers",
-                     "traces", "topologies", "reverse_paths", "churns",
-                     "transits", "engines", "seeds"):
+                     "traces", "topologies", "reverse_paths", "faults",
+                     "churns", "transits", "engines", "seeds"):
             object.__setattr__(self, axis, tuple(getattr(self, axis)))
         if any(rev is not None for rev in self.reverse_paths) and \
                 any(topo is None for topo in self.topologies):
             raise ValueError("the reverse_paths axis rewires topology "
                              "paths; every topologies entry must be a "
                              "TopologySpec")
+        if any(flt is not None for flt in self.faults) and \
+                any(topo is None for topo in self.topologies):
+            raise ValueError("the faults axis attaches per-link fault "
+                             "schedules; every topologies entry must be "
+                             "a TopologySpec")
 
     def __len__(self) -> int:
         return (len(self.lineups) * len(self.bandwidths_mbps) * len(self.rtts_ms)
                 * len(self.losses) * len(self.buffers) * len(self.traces)
                 * len(self.topologies) * len(self.reverse_paths)
-                * len(self.churns) * len(self.transits)
+                * len(self.faults) * len(self.churns) * len(self.transits)
                 * len(self.engines) * len(self.seeds))
 
     def _network(self, bandwidth, rtt, loss, buffer, trace) -> EvalNetwork:
@@ -725,27 +739,32 @@ class ScenarioSuite:
         axes = [("bw", self.bandwidths_mbps), ("rtt", self.rtts_ms),
                 ("loss", self.losses), ("buf", self.buffers),
                 ("trace", self.traces), ("topo", self.topologies),
-                ("rev", self.reverse_paths), ("churn", self.churns),
+                ("rev", self.reverse_paths), ("faults", self.faults),
+                ("churn", self.churns),
                 ("transit", self.transits), ("engine", self.engines),
                 ("seed", self.seeds)]
         varying = {label for label, values in axes if len(values) > 1}
-        for (label, flows), bw, rtt, loss, buf, trace, topo, rev, churn, \
-                transit, engine, seed in product(
+        for (label, flows), bw, rtt, loss, buf, trace, topo, rev, flt, \
+                churn, transit, engine, seed in product(
                 self.lineups, self.bandwidths_mbps, self.rtts_ms, self.losses,
                 self.buffers, self.traces, self.topologies,
-                self.reverse_paths, self.churns, self.transits,
+                self.reverse_paths, self.faults, self.churns, self.transits,
                 self.engines, self.seeds):
             if rev is not None:
                 topo = topo.with_reverse_paths(rev)
+            if flt is not None:
+                topo = topo.with_faults(flt)
             parts = [label]
             values = {"bw": bw, "rtt": rtt, "loss": loss, "buf": buf,
                       "trace": trace,
                       "topo": topo.name if topo is not None else None,
                       "rev": _reverse_label(rev),
+                      "faults": _faults_label(flt),
                       "churn": churn.label() if churn is not None else None,
                       "transit": transit, "engine": engine, "seed": seed}
             for axis in ("bw", "rtt", "loss", "buf", "trace", "topo",
-                         "rev", "churn", "transit", "engine", "seed"):
+                         "rev", "faults", "churn", "transit", "engine",
+                         "seed"):
                 if axis in varying:
                     parts.append(f"{axis}={values[axis]}")
             scenarios.append(Scenario(
@@ -766,3 +785,15 @@ def _reverse_label(rev) -> str | None:
     return ",".join(
         f"{path}:{'+'.join(links) if links is not None else 'prop'}"
         for path, links in sorted(rev.items()))
+
+
+def _faults_label(flt) -> str | None:
+    """Stable display label for a ``faults`` axis entry."""
+    if flt is None:
+        return None
+    parts = []
+    for link_name, specs in sorted(flt.items()):
+        specs = coerce_faults(specs)
+        kinds = "+".join(type(s).__name__ for s in specs) if specs else "none"
+        parts.append(f"{link_name}:{kinds}")
+    return ",".join(parts)

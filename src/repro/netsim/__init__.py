@@ -14,6 +14,9 @@ Layers, bottom-up:
 * :mod:`repro.netsim.traces` -- bandwidth processes (constant, step,
   random-walk, piecewise).
 * :mod:`repro.netsim.packet` -- packet records.
+* :mod:`repro.netsim.faults` -- declarative per-link fault schedules
+  (flaps, Gilbert-Elliott bursty loss, brownouts, blackouts) and their
+  deterministic runtime (:class:`FaultProcess`).
 * :mod:`repro.netsim.link` -- the bottleneck link model.
 * :mod:`repro.netsim.sender` -- rate-paced and window (ack-clocked)
   senders, monitor-interval statistics.
@@ -40,6 +43,14 @@ from repro.netsim.traces import (
     pps_to_mbps,
 )
 from repro.netsim.packet import Packet
+from repro.netsim.faults import (
+    BlackoutWindow,
+    FaultProcess,
+    GilbertElliottLoss,
+    LinkFlapSchedule,
+    RateBrownout,
+    fault_signature,
+)
 from repro.netsim.link import Link, PropagationLink
 from repro.netsim.sender import MonitorIntervalStats, Flow
 from repro.netsim.topology import (
@@ -89,6 +100,12 @@ __all__ = [
     "mbps_to_pps",
     "pps_to_mbps",
     "Packet",
+    "BlackoutWindow",
+    "FaultProcess",
+    "GilbertElliottLoss",
+    "LinkFlapSchedule",
+    "RateBrownout",
+    "fault_signature",
     "Link",
     "PropagationLink",
     "MonitorIntervalStats",

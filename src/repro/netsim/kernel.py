@@ -430,6 +430,7 @@ class KernelSimState(SimState):
         lk_dropbuf = sim._lk_dropbuf
         lk_droprand = sim._lk_droprand
         lk_reord = sim._lk_reord
+        lk_fault = sim._lk_fault
         eager = sim._eager
         jit = sim.jitter
         hop_jit = sim.hop_jitter
@@ -635,6 +636,21 @@ class KernelSimState(SimState):
                     qd = 0.0
                     depart = time + pure
                     delivered = True
+                elif lk_fault[j] is not None:
+                    # Faulted link: delegate to Link.transmit (the
+                    # object keeps the fault chains and counters); the
+                    # drop branches mirror _advance_packet exactly --
+                    # "random" keeps wire timing, everything else
+                    # ("buffer"/"fault") charges queue + propagation.
+                    delivered, dkind, depart, qd = lk_fault[j](time)
+                    if not delivered:
+                        p_qdelay[aidx] += qd
+                        p_dropped[aidx] = True
+                        p_dkind[aidx] = dkind
+                        sim._k_forward_drop(
+                            flow, aidx, hop,
+                            depart if dkind == "random"
+                            else time + qd + lk_delay[j])
                 else:
                     last = lk_last[j]
                     if time < last - 1e-12:
@@ -804,6 +820,12 @@ class KernelSimulation(Simulation):
         self._lk_dropbuf = [0] * n
         self._lk_droprand = [0] * n
         self._lk_reord = [0] * n
+        #: Bound ``Link.transmit`` for faulted links, ``None`` for the
+        #: fault-free fast path.  Faulted links keep their state on the
+        #: object (the fault process mutates busy_until/counters/RNG
+        #: chains), so the inlined transmit delegates to the object and
+        #: the state arrays are neither refreshed nor synced for them.
+        self._lk_fault: list = [None] * n
         self._k_refresh_links()
 
     def _k_refresh_links(self) -> None:
@@ -812,6 +834,18 @@ class KernelSimulation(Simulation):
         ``transmit()`` calls, ``reset()``, even a trace replacement --
         is honoured by the kernel from the next slice on."""
         for j, link in enumerate(self._k_links):
+            if getattr(link, "fault", None) is not None:
+                # Faulted link: the object stays authoritative.  The
+                # inlined transmit sites delegate to the bound method,
+                # and every rate read falls through the ``rate is
+                # None`` idiom to the fault-aware ``bandwidth_at``.
+                self._lk_fault[j] = link.transmit
+                self._lk_rate[j] = None
+                self._lk_bw[j] = link.bandwidth_at
+                self._lk_delay[j] = link.delay
+                self._lk_pure[j] = link.pure_delay
+                continue
+            self._lk_fault[j] = None
             self._lk_busy[j] = link.busy_until
             self._lk_last[j] = link.last_arrival
             self._lk_rate[j] = link._const_rate
@@ -831,14 +865,19 @@ class KernelSimulation(Simulation):
 
     def _sync_links(self) -> None:
         """Write mutable link state back to the ``Link`` objects
-        (bottom of every slice)."""
+        (bottom of every slice).  Faulted links are skipped: their
+        state never left the object, and writing back the stale arrays
+        would clobber what the delegated transmits accumulated."""
         busy = self._lk_busy
         last = self._lk_last
         deliv = self._lk_deliv
         dropbuf = self._lk_dropbuf
         droprand = self._lk_droprand
         reord = self._lk_reord
+        fault = self._lk_fault
         for j, link in enumerate(self._k_links):
+            if fault[j] is not None:
+                continue
             link.busy_until = busy[j]
             link.last_arrival = last[j]
             link.delivered = deliv[j]
@@ -864,9 +903,14 @@ class KernelSimulation(Simulation):
         rate_a = self._lk_rate
         bw_a = self._lk_bw
         delay_a = self._lk_delay
+        fault_a = self._lk_fault
+        links = self._k_links
         for h in range(hop + 1, flow.n_links):
             j = k_fwd[h]
-            b = busy[j]
+            # Faulted links keep busy_until on the object (their rate
+            # reads already route through the object's bandwidth_at
+            # via the None-rate idiom).
+            b = busy[j] if fault_a[j] is None else links[j].busy_until
             qd = b - cursor
             if qd < 0.0:
                 qd = 0.0
@@ -889,6 +933,25 @@ class KernelSimulation(Simulation):
             # Zero-work fast path: pure propagation never queues,
             # drops, or counts.
             cursor = now + pure
+        elif self._lk_fault[j] is not None:
+            # Faulted reverse link: delegate to Link.transmit and
+            # mirror _advance_reverse's branches -- a dropped real ack
+            # parks whatever the drop kind, a dropped loss notice is
+            # delivered late ("random" keeps wire timing, the rest
+            # charge queue + service + propagation).
+            size = flow.ack_size
+            delivered, dkind, depart, queue_delay = \
+                self._lk_fault[j](now, size)
+            pool.ack_queue_delay[idx] += queue_delay
+            if not delivered and not pool.dropped[idx]:
+                self._k_park_ack(flow, idx)
+                return
+            if delivered or dkind == "random":
+                cursor = depart
+            else:
+                cursor = (now + queue_delay
+                          + size / self._k_links[j].bandwidth_at(now)
+                          + self._lk_delay[j])
         else:
             size = flow.ack_size
             # Link.transmit(now, size) inline.
@@ -1068,6 +1131,22 @@ class KernelSimulation(Simulation):
             if pure is not None:
                 cursor += pure
                 continue
+            if self._lk_fault[j] is not None:
+                # Faulted link: delegate (mirrors _emit_eager's drop
+                # branches; "random" keeps wire timing).
+                ok, dkind, depart, hop_qd = self._lk_fault[j](cursor)
+                queue_delay += hop_qd
+                if not ok:
+                    delivered = False
+                    pool.dropped[idx] = True
+                    pool.drop_kind[idx] = dkind
+                    self._k_forward_drop(
+                        flow, idx, hop,
+                        depart if dkind == "random"
+                        else cursor + hop_qd + self._lk_delay[j])
+                    break
+                cursor = depart
+                continue
             last = self._lk_last[j]
             if cursor < last - 1e-12:
                 self._lk_reord[j] += 1
@@ -1121,6 +1200,19 @@ class KernelSimulation(Simulation):
             pure = self._lk_pure[j]
             if pure is not None:
                 cursor += pure
+                continue
+            if self._lk_fault[j] is not None:
+                # Faulted reverse link, frozen eager semantics: every
+                # dropped ack is delivered late or at wire timing,
+                # never lost (mirrors _transit_reverse).
+                ok, dkind, depart, hop_qd = self._lk_fault[j](cursor, size)
+                queue_delay += hop_qd
+                if ok or dkind == "random":
+                    cursor = depart
+                else:
+                    cursor += (hop_qd
+                               + size / self._k_links[j].bandwidth_at(cursor)
+                               + self._lk_delay[j])
                 continue
             last = self._lk_last[j]
             if cursor < last - 1e-12:

@@ -85,10 +85,18 @@ class Link:
                                                           key=name)
         self.name = name
         self.busy_until = 0.0
+        #: Optional :class:`~repro.netsim.faults.FaultProcess` attached
+        #: by the topology builder.  ``None`` (the default) keeps
+        #: ``transmit()`` on the exact pre-fault fast path -- one
+        #: attribute load and a ``None`` check, no float or RNG
+        #: changes -- so faults-off runs stay bit-identical to the
+        #: golden traces.
+        self.fault = None
         # Counters for diagnostics/tests.
         self.delivered = 0
         self.dropped_buffer = 0
         self.dropped_random = 0
+        self.dropped_fault = 0
         #: Timestamp of the most recent ``transmit()`` offer.  A FIFO
         #: server only sees time-ordered arrivals; the eager transit
         #: scheme violates that on shared downstream hops (it offers
@@ -118,9 +126,19 @@ class Link:
     # --- queue state ------------------------------------------------------
 
     def bandwidth_at(self, t: float) -> float:
-        """Instantaneous service rate (packets/second)."""
+        """Instantaneous service rate (packets/second).
+
+        Brownout faults scale the rate inside their windows; the scale
+        is validated positive, so callers dividing by this never see
+        zero.
+        """
         rate = self._const_rate
-        return rate if rate is not None else self.trace.bandwidth_at(t)
+        if rate is None:
+            rate = self.trace.bandwidth_at(t)
+        fault = self.fault
+        if fault is not None:
+            rate *= fault.capacity_scale(t)
+        return rate
 
     def queue_delay_at(self, t: float) -> float:
         """Waiting time a packet arriving at ``t`` would spend queued."""
@@ -149,6 +167,8 @@ class Link:
         time the packet would have arrived (the drop happens on the
         wire, so downstream loss detection sees the normal timing).
         """
+        if self.fault is not None:
+            return self._transmit_faulted(t, size)
         last = self.last_arrival
         if t < last - 1e-12:
             self.reordered += 1
@@ -175,14 +195,81 @@ class Link:
         self.delivered += 1
         return (True, None, depart, queue_delay)
 
+    def _transmit_faulted(self, t: float, size: float = 1.0) -> tuple:
+        """The fault-aware twin of :meth:`transmit` (cold side path).
+
+        Same contract and same float arithmetic where faults are
+        inactive, plus three fault effects in order:
+
+        * a ``drop``-policy outage discards the packet at ``t`` with
+          ``drop_kind == "fault"`` (the engines' non-random drop
+          branches handle the timing, exactly like a buffer drop);
+        * a ``queue``-policy outage floors the busy horizon at the
+          recovery time -- arrivals park behind it and replay on
+          recovery -- while the drop-tail test measures backlog from
+          the recovery time, so dead air doesn't count as queued
+          packets;
+        * brownouts scale the service rate; Gilbert-Elliott chains add
+          a wire loss (reported as ``"random"`` so downstream loss
+          timing and ack parking behave like the existing wire loss,
+          but counted in ``dropped_fault``).
+        """
+        last = self.last_arrival
+        if t < last - 1e-12:
+            self.reordered += 1
+        if t > last:
+            self.last_arrival = t
+        fault = self.fault
+        busy = self.busy_until
+        backlog_base = t
+        outage = fault.outage_at(t)
+        if outage is not None:
+            recovery, policy = outage
+            if policy == "drop":
+                self.dropped_fault += 1
+                wait = busy - t
+                return (False, "fault", t, wait if wait > 0.0 else 0.0)
+            if busy < recovery:
+                busy = recovery
+            backlog_base = recovery
+        rate = self._const_rate
+        if rate is None:
+            rate = self.trace.bandwidth_at(t)
+        scale = fault.capacity_scale(t)
+        if scale != 1.0:
+            rate *= scale
+        service = size / rate
+        queue_delay = busy - t
+        if queue_delay < 0.0:
+            queue_delay = 0.0
+        backlog_time = busy - backlog_base
+        if backlog_time < 0.0:
+            backlog_time = 0.0
+        if backlog_time * rate >= self.queue_size + 1.0 - 1e-9:
+            self.dropped_buffer += 1
+            return (False, "buffer", t, queue_delay)
+        self.busy_until = (busy if busy > t else t) + service
+        depart = t + queue_delay + service + self.delay
+        if fault.wire_loss(t):
+            self.dropped_fault += 1
+            return (False, "random", depart, queue_delay)
+        if self.loss_rate > 0.0 and self.rng.random() < self.loss_rate:
+            self.dropped_random += 1
+            return (False, "random", depart, queue_delay)
+        self.delivered += 1
+        return (True, None, depart, queue_delay)
+
     def reset(self) -> None:
         """Clear queue state and counters."""
         self.busy_until = 0.0
         self.delivered = 0
         self.dropped_buffer = 0
         self.dropped_random = 0
+        self.dropped_fault = 0
         self.last_arrival = float("-inf")
         self.reordered = 0
+        if self.fault is not None:
+            self.fault.reset()
 
     # --- convenience --------------------------------------------------------
 

@@ -42,7 +42,13 @@ Derivation kinds and their static disjointness rules (enforced by the
   is small enough to be a plausible index, see
   :data:`INDEX_SALT_FLOOR`);
 * ``named``   -- entropy ``(salt, crc32(name), 0)`` (a 3-tuple, seed
-  free: deterministic fallback streams keyed by an object's name).
+  free: deterministic fallback streams keyed by an object's name);
+* ``salted-indexed`` -- entropy ``(seed, salt, index)`` (a 3-tuple
+  carrying both a per-family salt and a caller index: disjoint from
+  every 1- and 2-element derivation by arity, from sibling
+  salted-indexed streams by salt, and from ``named`` streams -- the
+  only other 3-tuples -- because no ``named`` stream shares a domain
+  with a salted-indexed one).
 
 ``SeedSequence`` treats different entropy *values* -- including
 different tuple arities -- as different streams, which is what makes
@@ -76,7 +82,8 @@ class StreamDef:
     #: Seed space the derivation consumes; collision analysis compares
     #: only streams sharing a domain.
     domain: str
-    #: Derivation kind: raw | affine | salted | indexed | named.
+    #: Derivation kind: raw | affine | salted | indexed | named |
+    #: salted-indexed.
     derive: str
     #: ``salted``/``named``: the tuple salt.  Must clear
     #: :data:`INDEX_SALT_FLOOR` when any ``indexed`` stream shares the
@@ -118,6 +125,23 @@ STREAMS: tuple[StreamDef, ...] = (
         derive="indexed",
         reason="per-link Bernoulli wire-loss draws, keyed by the "
                "link's position in the spec"),
+    StreamDef(
+        name="link.fault-flap",
+        owner="netsim.faults.FaultProcess._flap_rng",
+        domain="scenario",
+        derive="salted-indexed", salt=0x464C4150,  # "FLAP"
+        reason="per-link flap-window jitter draws, keyed like "
+               "link.loss by the link's position; a dedicated stream "
+               "(and a second one for the loss chain below) so fault "
+               "schedules can never shift the wire-loss sequence"),
+    StreamDef(
+        name="link.fault-loss",
+        owner="netsim.faults.FaultProcess._loss_rng",
+        domain="scenario",
+        derive="salted-indexed", salt=0x47454C4F,  # "GELO"
+        reason="per-link Gilbert-Elliott chain draws (one transition "
+               "per offered packet, plus a loss draw in lossy states), "
+               "in transmit order"),
     StreamDef(
         name="link.default",
         owner="netsim.link.Link.rng (no-rng fallback)",
@@ -194,6 +218,11 @@ def derive_seed(name: str, seed: int | None = None, *, index: int | None = None,
         if key is None:
             raise ValueError(f"stream {name!r} derives from a string key")
         return (stream.salt, zlib.crc32(key.encode("utf-8")), 0)
+    if stream.derive == "salted-indexed":
+        if seed is None or index is None:
+            raise ValueError(
+                f"stream {name!r} derives from (seed, salt, index)")
+        return (seed, stream.salt, index)
     raise ValueError(f"stream {name!r} has unknown derivation "
                      f"{stream.derive!r}")  # pragma: no cover
 

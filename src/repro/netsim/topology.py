@@ -37,6 +37,7 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
+from repro.netsim.faults import FaultProcess, coerce_faults
 from repro.netsim.link import Link, PropagationLink
 from repro.netsim.rngstreams import stream_rng
 from repro.netsim.traces import ConstantTrace, make_trace, mbps_to_pps
@@ -239,6 +240,12 @@ class LinkDef:
     ``trace`` overrides the actual capacity process.  ``queue_packets``
     sizes the buffer absolutely; otherwise ``buffer_bdp`` multiples of
     the BDP of the longest path through this link are used.
+
+    ``faults`` is a tuple of declarative fault specs (see
+    :mod:`repro.netsim.faults`) attached to the built link as one
+    :class:`~repro.netsim.faults.FaultProcess`; the empty default keeps
+    the link on the fault-free fast path, bit-identical to the golden
+    traces.
     """
 
     name: str
@@ -248,6 +255,12 @@ class LinkDef:
     queue_packets: int | None = None
     loss_rate: float = 0.0
     trace: str | None = None
+    faults: tuple = ()
+
+    def __post_init__(self):
+        # Accept a bare spec or any iterable; fingerprints and builds
+        # must see one canonical tuple (mirrors PathDef's coercions).
+        object.__setattr__(self, "faults", coerce_faults(self.faults))
 
 
 @dataclass(frozen=True)
@@ -419,10 +432,16 @@ class TopologySpec:
             if queue is None:
                 bdp = pps * self._bdp_rtt_s(ld.name)
                 queue = max(int(round(ld.buffer_bdp * bdp)), MIN_QUEUE_PACKETS)
-            links[ld.name] = Link(
+            link = Link(
                 trace=trace, delay=ld.delay_ms / 1000.0, queue_size=queue,
                 loss_rate=ld.loss_rate,
                 rng=stream_rng("link.loss", seed, index=i), name=ld.name)
+            if ld.faults:
+                # Keyed like link.loss by (seed, position) so identical
+                # schedules replay bit-for-bit across serial, parallel,
+                # and batched execution.
+                link.fault = FaultProcess(ld.faults, seed=seed, index=i)
+            links[ld.name] = link
         paths = {p.name: p.links for p in self.paths}
         return_delays = {p.name: p.return_delay_ms / 1000.0
                          for p in self.paths if p.return_delay_ms is not None}
@@ -464,6 +483,27 @@ class TopologySpec:
                 paths.append(replace(p, return_delay_ms=None,
                                      reverse_links=tuple(value)))
         return replace(self, paths=tuple(paths), name=name or self.name)
+
+    def with_faults(self, faults: dict,
+                    name: str | None = None) -> "TopologySpec":
+        """New spec with the given links' fault schedules replaced.
+
+        ``faults`` maps link names to a fault spec, an iterable of
+        specs, or ``None``/``()`` (strip the link back to fault-free).
+        This is what the :class:`~repro.eval.scenarios.ScenarioSuite`
+        ``faults`` axis applies per grid cell.
+        """
+        known = {ld.name for ld in self.links}
+        unknown = sorted(set(faults) - known)
+        if unknown:
+            raise KeyError(f"unknown link(s) {unknown}; known: {sorted(known)}")
+        links = []
+        for ld in self.links:
+            if ld.name in faults:
+                links.append(replace(ld, faults=coerce_faults(faults[ld.name])))
+            else:
+                links.append(ld)
+        return replace(self, links=tuple(links), name=name or self.name)
 
 
 def _per_hop(value, hops: int, label: str) -> list:

@@ -1,0 +1,27 @@
+"""Known-bad fault layer: undeclared streams, uncovered spec fields."""
+
+from dataclasses import dataclass
+
+from .rngstreams import stream_rng
+
+
+@dataclass(frozen=True)
+class LeakySpec:
+    period: float
+    down_time: float
+    secret_knob: float = 0.0  # absent from _signature_fields: cache poison
+
+    _signature_fields = ("period", "down_time", "ghost_field")
+
+
+@dataclass(frozen=True)
+class UnsignedSpec:
+    start: float
+    duration: float
+
+
+class FaultProcess:
+    def __init__(self, seed, index):
+        self._flap_rng = stream_rng("link.fault-flap", seed, index=index)
+        self._loss_rng = stream_rng("link.fault-undeclared", seed,
+                                    index=index)

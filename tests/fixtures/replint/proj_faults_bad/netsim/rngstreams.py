@@ -1,0 +1,26 @@
+"""Known-bad registry: wrong derivation and a colliding salt."""
+
+
+class StreamDef:
+    def __init__(self, **kwargs):
+        self.__dict__.update(kwargs)
+
+
+STREAMS = (
+    StreamDef(
+        name="link.loss",
+        owner="netsim.topology",
+        domain="scenario",
+        derive="salted", salt=0x464C4150,
+        reason="collides with link.fault-flap's salt below"),
+    StreamDef(
+        name="link.fault-flap",
+        owner="netsim.faults.FaultProcess._flap_rng",
+        domain="scenario",
+        derive="indexed", salt=0x464C4150,
+        reason="wrong derivation: must be salted-indexed"),
+)
+
+
+def stream_rng(name, seed, index=None):
+    return None

@@ -1,0 +1,15 @@
+"""Known-bad resilience layer: stale and unjustified allowlist entries."""
+
+IDEMPOTENT_TASKS = (
+    ("repro.eval.vanished._run_cell",
+     "module no longer exists, so this entry is stale"),
+    ("repro.eval.sweep._noop_task", ""),
+)
+
+
+class ResilientPool:
+    def __init__(self, n_workers, fn, initializer=None, retry=None):
+        self.fn = fn
+
+    def execute(self, tasks):
+        return []

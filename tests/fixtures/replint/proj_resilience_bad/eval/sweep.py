@@ -1,0 +1,18 @@
+"""Known-bad pool call sites: unlisted and inline task functions."""
+
+from .resilience import ResilientPool
+
+
+def _noop_task(arg):
+    return arg
+
+
+def _unlisted_task(arg):
+    return arg
+
+
+def run_all(batches):
+    listed = ResilientPool(2, _noop_task)
+    unlisted = ResilientPool(2, _unlisted_task)
+    inline = ResilientPool(2, lambda arg: arg)
+    return listed, unlisted, inline

@@ -48,6 +48,11 @@ from repro.analysis.rules_fingerprint import (
     consumed_attrs,
     default_specs,
 )
+from repro.analysis.rules_resilience import (
+    FaultSignatureCoverageRule,
+    FaultStreamDeclarationRule,
+    ResilienceRetryRule,
+)
 from repro.eval import scenarios
 
 FIXTURES = Path(__file__).parent / "fixtures" / "replint"
@@ -740,3 +745,56 @@ class TestFixturesStayBad:
     @pytest.mark.parametrize("rule_id,fixture", CASES)
     def test_fixture_fires(self, rule_id, fixture):
         assert run_rule(rule_id, fixture), f"{fixture} no longer trips {rule_id}"
+
+
+class TestFaultResilienceRules:
+    """The fault-injection / resilient-runtime rule family."""
+
+    def test_fault_signature_coverage_fires(self):
+        findings = FaultSignatureCoverageRule().check_project(
+            FIXTURES / "proj_faults_bad")
+        messages = " | ".join(f.message for f in findings)
+        assert "field 'secret_knob' of fault spec LeakySpec is missing " \
+               "from _signature_fields" in messages
+        assert "stale _signature_fields entry 'ghost_field'" in messages
+        assert "fault spec UnsignedSpec declares no _signature_fields" \
+            in messages
+
+    def test_fault_stream_declaration_fires(self):
+        findings = FaultStreamDeclarationRule().check_project(
+            FIXTURES / "proj_faults_bad")
+        messages = " | ".join(f.message for f in findings)
+        assert "'link.fault-undeclared' is minted here but not declared" \
+            in messages
+        assert "'link.fault-flap' must derive 'salted-indexed'" in messages
+        assert "shares salt 0x464c4150 with stream 'link.loss'" in messages
+
+    def test_retry_rule_fires_on_unlisted_stale_and_inline(self):
+        findings = ResilienceRetryRule().check_project(
+            FIXTURES / "proj_resilience_bad")
+        messages = " | ".join(f.message for f in findings)
+        assert "'repro.eval.sweep._unlisted_task' is not on " \
+               "IDEMPOTENT_TASKS" in messages
+        assert "must be a module-level function named on " \
+               "IDEMPOTENT_TASKS, not an inline expression" in messages
+        assert "stale IDEMPOTENT_TASKS entry " \
+               "'repro.eval.vanished._run_cell'" in messages
+        assert "'repro.eval.sweep._noop_task' has an empty justification" \
+            in messages
+        # the listed, used, existing entry itself raises nothing extra
+        assert "'repro.eval.sweep._noop_task' is not on" not in messages
+
+    def test_missing_allowlist_with_call_sites_is_a_finding(self, tmp_path):
+        (tmp_path / "eval").mkdir(parents=True)
+        (tmp_path / "eval" / "runner.py").write_text(
+            "def task(arg):\n    return arg\n\n"
+            "pool = ResilientPool(2, task)\n")
+        messages = " | ".join(
+            f.message
+            for f in ResilienceRetryRule().check_project(tmp_path))
+        assert "no module-level IDEMPOTENT_TASKS is declared" in messages
+
+    def test_family_is_clean_on_the_live_tree(self):
+        for rule in (FaultSignatureCoverageRule(),
+                     FaultStreamDeclarationRule(), ResilienceRetryRule()):
+            assert rule.check_project(SRC_ROOT) == [], rule.id

@@ -285,3 +285,82 @@ class TestRunnerDispatchIdentity:
         # early_abort forces cell-per-task dispatch.
         assert ParallelRunner(n_workers=2, early_abort=True,
                               batch_size=8)._pick_batch_size(64) == 1
+
+
+class TestBatchInterrupts:
+    """Interrupts stay surgical under either engine core.
+
+    A deterministic cell exception is a per-cell error (siblings
+    complete and cache); a KeyboardInterrupt is *not* a cell failure
+    -- it propagates immediately instead of being recorded as an
+    error -- and at the runner level the cells completed before the
+    interrupt are already cached, so a resumed run only pays for what
+    the interrupt cancelled.
+    """
+
+    ENGINES = ("reference", "kernel")
+
+    def _cells(self, engine, duration=0.4):
+        return ScenarioSuite(
+            name=f"interrupt-{engine}", lineups=("cubic", "vegas", "bbr"),
+            engines=(engine,), duration=duration).expand()
+
+    def _interrupt_on_second_cell(self, probe_scenario, monkeypatch):
+        """Patch the engine's state class so the second *distinct*
+        state object to step raises KeyboardInterrupt (strong refs, so
+        id-reuse after gc can never alias two states)."""
+        state_cls = type(build_scenario_simulation(probe_scenario).state)
+        original = state_cls.step_until
+        seen: list = []
+
+        def interrupting(self, horizon):
+            if not any(s is self for s in seen):
+                seen.append(self)
+                if len(seen) == 2:
+                    raise KeyboardInterrupt
+            return original(self, horizon)
+
+        monkeypatch.setattr(state_cls, "step_until", interrupting)
+        return state_cls, original
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_mid_batch_exception_spares_and_caches_siblings(
+            self, engine, tmp_path):
+        good = self._cells(engine)
+        bad = Scenario(name=f"interrupt-{engine}/broken",
+                       network=EvalNetwork(), flows=("no-such-scheme",),
+                       duration=0.4, engine=engine)
+        runner = ParallelRunner(n_workers=1, cache_dir=tmp_path,
+                                batch_size=4)
+        with pytest.raises(ScenarioError) as err:
+            runner.run([good[0], bad, good[1], good[2]])
+        assert err.value.scenario_name == f"interrupt-{engine}/broken"
+        # Every healthy batch sibling completed and cached despite the
+        # failure in the middle of the batch.
+        again = runner.run(good)
+        assert again.cache_hits == len(good)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_keyboard_interrupt_is_not_a_cell_error(self, engine,
+                                                    monkeypatch):
+        scenarios = self._cells(engine)
+        self._interrupt_on_second_cell(scenarios[0], monkeypatch)
+        with pytest.raises(KeyboardInterrupt):
+            BatchRunner(slice_seconds=0.1).run(scenarios)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_interrupted_sweep_keeps_completed_cells_cached(
+            self, engine, tmp_path, monkeypatch):
+        scenarios = self._cells(engine)
+        state_cls, original = self._interrupt_on_second_cell(
+            scenarios[0], monkeypatch)
+        runner = ParallelRunner(n_workers=1, cache_dir=tmp_path,
+                                batch_size=1)
+        with pytest.raises(KeyboardInterrupt):
+            runner.run(scenarios)
+        assert scenarios[0].fingerprint() in runner.cache
+        assert scenarios[1].fingerprint() not in runner.cache
+        # Resuming after the interrupt only pays for the cancelled tail.
+        monkeypatch.setattr(state_cls, "step_until", original)
+        resumed = runner.run(scenarios)
+        assert resumed.cache_hits == 1 and resumed.cache_misses == 2
